@@ -1,0 +1,81 @@
+"""Ablation: Kronecker kernel strategies.
+
+DESIGN.md calls out three tiers — dense, sparse-triples, and lazy —
+for forming/querying Kronecker products.  This bench quantifies why
+each exists: dense blows up quadratically in vertices, sparse scales
+with nnz, and lazy answers queries without forming anything.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.graphs import star_adjacency
+from repro.kron import KroneckerChain, kron, kron_dense
+from repro.semiring import BOOL_OR_AND, PLUS_TIMES
+
+
+def test_ablation_dense_kron(benchmark):
+    a = star_adjacency(31).to_dense()
+    b = star_adjacency(31).to_dense()
+
+    out = benchmark(lambda: kron_dense(a, b))
+    assert out.shape == (1024, 1024)
+    record(
+        benchmark,
+        strategy="dense",
+        output_entries=out.size,
+        stored_nonzeros=int(np.count_nonzero(out)),
+        note="O(n^2 m^2) memory regardless of sparsity",
+    )
+
+
+def test_ablation_sparse_kron_same_workload(benchmark):
+    a = star_adjacency(31)
+    b = star_adjacency(31)
+
+    out = benchmark(lambda: kron(a, b))
+    assert out.shape == (1024, 1024)
+    record(
+        benchmark,
+        strategy="sparse triples",
+        stored_nonzeros=out.nnz,
+        note="O(nnz_a * nnz_b) — the generator's kernel",
+    )
+
+
+def test_ablation_sparse_kron_large(benchmark):
+    """Sparse kron at a size dense could never touch (16M-entry dense)."""
+    a = star_adjacency(999)
+    b = star_adjacency(999)
+
+    out = benchmark(lambda: kron(a, b))
+    assert out.nnz == (2 * 999) ** 2
+    record(benchmark, strategy="sparse triples", stored_nonzeros=f"{out.nnz:,}")
+
+
+def test_ablation_lazy_chain_queries(benchmark):
+    """Lazy chain: per-query cost is independent of product size."""
+    chain = KroneckerChain([star_adjacency(m) for m in (99, 256, 625, 2401)])
+
+    def probe():
+        mid = chain.num_vertices // 2
+        return chain.entry(0, 1), chain.degree_of(mid)
+
+    benchmark(probe)
+    record(
+        benchmark,
+        strategy="lazy chain",
+        product_nnz=f"{chain.nnz:.3e}",
+        note="queries via mixed-radix arithmetic; nothing materialized",
+    )
+
+
+def test_ablation_semiring_overhead(benchmark):
+    """Boolean-semiring kron vs the plus-times fast path."""
+    a = star_adjacency(63)
+    b = star_adjacency(63)
+
+    out = benchmark(lambda: kron(a, b, BOOL_OR_AND))
+    reference = kron(a, b, PLUS_TIMES)
+    assert out.nnz == reference.nnz
+    record(benchmark, strategy="bool_or_and semiring", stored_nonzeros=out.nnz)

@@ -1,0 +1,85 @@
+"""Ablation: B/C split point and rank-count effects (Section V).
+
+DESIGN.md calls out the split choice as a design decision: B must carry
+enough triples to slice finely (balance), while both halves respect the
+per-rank memory budget.  This bench measures generation at each legal
+split of a fixed chain and audits the invariants the scaling argument
+rests on.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.design import PowerLawDesign
+from repro.parallel import ParallelKroneckerGenerator, VirtualCluster
+from repro.validate import audit_partition
+
+CHAIN_SIZES = [3, 4, 5, 9, 16]  # 97,920-edge product
+N_RANKS = 8
+
+
+@pytest.mark.parametrize("split_index", [1, 2, 3, 4])
+def test_ablation_split_point(benchmark, split_index):
+    chain = PowerLawDesign(CHAIN_SIZES).to_chain()
+    b_nnz = 1
+    for f in chain.factors[:split_index]:
+        b_nnz *= f.nnz
+    if b_nnz < N_RANKS:
+        pytest.skip(f"split {split_index} leaves B with {b_nnz} < {N_RANKS} triples")
+    cluster = VirtualCluster(N_RANKS)
+
+    def generate():
+        gen = ParallelKroneckerGenerator(chain, cluster, split_index=split_index)
+        return gen, gen.generate_blocks()
+
+    gen, blocks = benchmark(generate)
+    audit = audit_partition(gen.plan, blocks, chain.nnz)
+    assert audit.complete
+    assert audit.balanced
+    record(
+        benchmark,
+        split_index=split_index,
+        b_nnz=gen.plan.b_chain.nnz,
+        c_nnz=gen.plan.c_chain.nnz,
+        block_nnz_range=f"[{audit.min_block_nnz:,}, {audit.max_block_nnz:,}]",
+    )
+
+
+@pytest.mark.parametrize("n_ranks", [1, 4, 16, 48])
+def test_ablation_rank_count_balance(benchmark, n_ranks):
+    chain = PowerLawDesign(CHAIN_SIZES).to_chain()
+
+    def generate():
+        gen = ParallelKroneckerGenerator(chain, VirtualCluster(n_ranks))
+        return gen, gen.generate_blocks()
+
+    gen, blocks = benchmark(generate)
+    audit = audit_partition(gen.plan, blocks, chain.nnz)
+    assert audit.complete and audit.balanced
+    record(
+        benchmark,
+        n_ranks=n_ranks,
+        block_nnz_range=f"[{audit.min_block_nnz:,}, {audit.max_block_nnz:,}]",
+        spread_allowance=audit.spread_allowance,
+    )
+
+
+def test_ablation_auto_vs_worst_split(benchmark):
+    """choose_split's pick vs. the smallest-B split, same workload."""
+    chain = PowerLawDesign(CHAIN_SIZES).to_chain()
+    cluster = VirtualCluster(N_RANKS)
+
+    def auto():
+        return ParallelKroneckerGenerator(chain, cluster).generate_blocks()
+
+    blocks = benchmark(auto)
+    auto_spread = max(b.nnz for b in blocks) - min(b.nnz for b in blocks)
+    worst = ParallelKroneckerGenerator(chain, cluster, split_index=2)
+    worst_blocks = worst.generate_blocks()
+    worst_spread = max(b.nnz for b in worst_blocks) - min(b.nnz for b in worst_blocks)
+    record(
+        benchmark,
+        auto_block_spread=auto_spread,
+        small_b_block_spread=worst_spread,
+        note="larger B -> finer triple slicing -> tighter balance",
+    )

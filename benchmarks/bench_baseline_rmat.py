@@ -1,0 +1,137 @@
+"""Section I comparison: trial-and-error design vs. exact design.
+
+The paper's motivation: with random generators (R-MAT) the designer
+must generate and measure repeatedly to hit target properties; with
+Kronecker designs the properties are exact and instant.  This bench
+prices both paths to the same goal — "a graph with ~target edges" —
+and also benchmarks raw R-MAT sampling as the baseline generator.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.baselines import RMATParameters, iterative_rmat_design, rmat_graph
+from repro.design import design_for_scale
+from repro.validate import audit_graph_structure
+
+TARGET_EDGES = 50_000
+
+
+def test_baseline_rmat_generation(benchmark):
+    """Raw R-MAT sampling throughput (the Graph500 baseline)."""
+    params = RMATParameters(scale=12)
+    rng = np.random.default_rng(42)
+
+    graph = benchmark(lambda: rmat_graph(params, TARGET_EDGES, rng=rng))
+    audit = audit_graph_structure(graph)
+    record(
+        benchmark,
+        requested_edges=TARGET_EDGES,
+        realized_edges=graph.num_edges,
+        empty_vertices=audit.num_empty_vertices,
+        self_loops=audit.num_self_loops,
+        note="realized properties differ from request (paper's critique)",
+    )
+
+
+def test_iterative_design_loop_cost(benchmark):
+    """The generate-measure-adjust loop to land within 2% of target."""
+    params = RMATParameters(scale=12)
+
+    def run():
+        return iterative_rmat_design(
+            TARGET_EDGES, params, rel_tol=0.02, rng=np.random.default_rng(7)
+        )
+
+    result = benchmark(run)
+    assert result.converged
+    record(
+        benchmark,
+        iterations=result.iterations,
+        total_edges_materialized=f"{result.total_edges_generated:,}",
+        achieved=f"{result.achieved_edges:,}",
+        target=f"{TARGET_EDGES:,}",
+    )
+
+
+def test_exact_design_search_cost(benchmark):
+    """The same goal via exact design: no graph is ever generated."""
+
+    def run():
+        return design_for_scale(TARGET_EDGES, rel_tol=0.5)
+
+    design = benchmark(run)
+    record(
+        benchmark,
+        star_sizes=list(design.star_sizes),
+        exact_edges=f"{design.num_edges:,}",
+        target=f"{TARGET_EDGES:,}",
+        edges_materialized=0,
+        note="properties exact before generation (paper's approach)",
+    )
+
+
+def test_baseline_barabasi_albert(benchmark):
+    """BA growth (the paper's first power-law citation) as a baseline."""
+    from repro.baselines import barabasi_albert_graph
+    from repro.analysis import fit_power_law
+
+    graph = benchmark(
+        lambda: barabasi_albert_graph(2000, 4, rng=np.random.default_rng(3))
+    )
+    fit = fit_power_law(graph.degree_distribution())
+    record(
+        benchmark,
+        vertices=graph.num_vertices,
+        realized_edges=graph.num_edges,
+        fitted_alpha=f"{fit.alpha:.2f}",
+        note="properties random and only measurable post-hoc",
+    )
+
+
+def test_design_vs_baselines_distribution_distance(benchmark):
+    """How far the random baselines land from an exact design's shape."""
+    from repro.analysis import total_variation_distance
+    from repro.baselines import barabasi_albert_graph
+    from repro.design import PowerLawDesign
+
+    design = PowerLawDesign([3, 4, 5, 9])
+
+    def measure():
+        ba = barabasi_albert_graph(
+            design.num_vertices, 2, rng=np.random.default_rng(5)
+        )
+        rmat = rmat_graph(
+            RMATParameters(scale=11), design.num_edges // 2, rng=np.random.default_rng(5)
+        )
+        return (
+            total_variation_distance(design.degree_distribution, ba.degree_distribution()),
+            total_variation_distance(design.degree_distribution, rmat.degree_distribution()),
+        )
+
+    tv_ba, tv_rmat = benchmark(measure)
+    record(
+        benchmark,
+        tv_design_vs_ba=f"{tv_ba:.3f}",
+        tv_design_vs_rmat=f"{tv_rmat:.3f}",
+        note="design's own realization has TV exactly 0 by construction",
+    )
+
+
+def test_exact_design_scales_where_rmat_cannot(benchmark):
+    """Designing a 10^15-edge graph: exact path costs microseconds;
+    the iterative path would need to materialize petascale graphs."""
+
+    def run():
+        return design_for_scale(10**15, rel_tol=0.5)
+
+    design = benchmark(run)
+    ratio = design.num_edges / 10**15
+    assert 0.5 <= ratio <= 2.0
+    record(
+        benchmark,
+        target="1e15 edges",
+        exact_edges=f"{design.num_edges:,}",
+        ratio=f"{ratio:.3f}",
+        note="trial-and-error at this scale is infeasible",
+    )

@@ -1,0 +1,61 @@
+"""Figure 1: Kronecker product of two bipartite (star) graphs.
+
+The paper shows (a) the product of the m̂=5 and m̂=3 stars splits into
+two bipartite sub-graphs once permuted (Weichsel), and (b) its degree
+distribution sits exactly on n(d) = 15/d.  The benchmark times the
+sparse Kronecker kernel plus the component permutation that produces
+the figure's "P=" view.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.design import PowerLawDesign
+from repro.graphs import Graph, star_adjacency
+from repro.kron import component_permutation, connected_components, kron
+
+
+PAPER_DISTRIBUTION = {1: 15, 3: 5, 5: 3, 15: 1}
+
+
+def build_fig1():
+    a = star_adjacency(5)
+    b = star_adjacency(3)
+    c = kron(a, b)
+    perm = component_permutation(c)
+    return c.permuted(perm)
+
+
+def test_fig1_kron_and_permute(benchmark):
+    permuted = benchmark(build_fig1)
+
+    c = kron(star_adjacency(5), star_adjacency(3))
+    measured = Graph(c).degree_distribution()
+    assert measured == PAPER_DISTRIBUTION
+
+    labels = connected_components(c)
+    n_components = len(np.unique(labels))
+    assert n_components == 2  # two bipartite sub-graphs
+    assert permuted.nnz == c.nnz
+
+    predicted = PowerLawDesign([5, 3]).degree_distribution.to_dict()
+    assert predicted == PAPER_DISTRIBUTION
+
+    record(
+        benchmark,
+        paper_distribution=PAPER_DISTRIBUTION,
+        measured_distribution=measured,
+        components=n_components,
+        match="EXACT",
+    )
+
+
+def test_fig1_power_law_relation(benchmark):
+    """All points on n(d) = 15/d — timed on the exact-design path."""
+
+    def compute():
+        return PowerLawDesign([5, 3]).degree_distribution
+
+    dist = benchmark(compute)
+    assert all(d * c == 15 for d, c in dist.items())
+    record(benchmark, relation="n(d) * d == 15 for all d", match="EXACT")

@@ -1,0 +1,64 @@
+"""Graph500-style BFS benchmark fed by the exact generator.
+
+Graph500 is the paper's flagship benchmark citation: kernel 1 constructs
+a graph from an edge stream, kernel 2 runs BFS from random sources, and
+the score is traversed edges per second (TEPS).  Here kernel 0's edge
+stream comes from the exact Kronecker design (instead of the reference
+R-MAT), so the harness knows the true edge count without measuring it.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.design import PowerLawDesign
+from repro.grb import bfs_levels
+from repro.io import write_graph500_edges, read_graph500_edges
+
+DESIGN = PowerLawDesign([3, 4, 5, 9, 16], "center")  # 110,938 edges, connected
+
+
+def test_kernel1_construction_from_edge_stream(benchmark, tmp_path):
+    """K1: binary edge file -> adjacency structure."""
+    graph = DESIGN.realize()
+    path = tmp_path / "edges.g500"
+    write_graph500_edges(path, graph.adjacency)
+    shape = (DESIGN.num_vertices, DESIGN.num_vertices)
+
+    loaded = benchmark(lambda: read_graph500_edges(path, shape).to_csr())
+    assert loaded.nnz == DESIGN.num_edges
+    record(benchmark, kernel="K1 construct", nnz=loaded.nnz)
+
+
+def test_kernel2_bfs_teps(benchmark):
+    """K2: BFS from a random non-isolated source; score in TEPS."""
+    graph = DESIGN.realize()
+    rng = np.random.default_rng(99)
+    source = int(rng.integers(0, graph.num_vertices))
+
+    levels = benchmark(lambda: bfs_levels(graph, source))
+    reached = int((levels >= 0).sum())
+    # Traversed edges ~ edges incident to the reached component.
+    teps = DESIGN.num_edges / benchmark.stats["mean"]
+    record(
+        benchmark,
+        kernel="K2 BFS",
+        source=source,
+        vertices_reached=f"{reached:,}/{graph.num_vertices:,}",
+        simulated_teps=f"{teps:.3e}",
+    )
+
+
+def test_bfs_from_many_sources_shape(benchmark):
+    """Graph500 runs 64 BFS roots; we sample 8 and check consistency."""
+    graph = DESIGN.realize()
+    rng = np.random.default_rng(7)
+    sources = rng.integers(0, graph.num_vertices, size=8)
+
+    def run_all():
+        return [bfs_levels(graph, int(s)) for s in sources]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Center loops connect the product, so every BFS reaches everything.
+    for levels in results:
+        assert (levels >= 0).all()
+    record(benchmark, kernel="K2 x8 sources", eccentricity=max(int(l.max()) for l in results))

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*.py`` module reproduces one figure of the paper: it
+computes/measures our values, asserts the exact paper numbers where the
+paper quotes them, and attaches a paper-vs-ours comparison to the
+pytest-benchmark ``extra_info`` so the JSON export carries the evidence.
+Human-readable comparisons are also printed (visible with ``-s`` or in
+EXPERIMENTS.md, which records a full run).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def record(benchmark, **info) -> None:
+    """Attach reproduction evidence to the benchmark record and echo it."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = str(value)
+    line = ", ".join(f"{k}={v}" for k, v in info.items())
+    print(f"[{benchmark.name}] {line}", file=sys.stderr)

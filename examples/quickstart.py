@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: design a power-law graph, know everything, then build it.
+
+Demonstrates the library's core loop in under a minute:
+
+1. declare a Kronecker design from star sizes,
+2. read off its *exact* properties (no generation needed),
+3. realize the graph in memory,
+4. verify measured == predicted, exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PowerLawDesign
+from repro.validate import validate_design
+
+
+def main() -> None:
+    # -- 1. Declare a design: Kronecker product of stars with self-loops
+    #       on the central vertices (the paper's triangle-rich Case 1).
+    design = PowerLawDesign([3, 4, 5, 9], self_loop="center")
+    print(f"design: {design}")
+
+    # -- 2. Exact properties, computed from closed forms in microseconds.
+    print(f"  vertices : {design.num_vertices:,}")
+    print(f"  edges    : {design.num_edges:,}")
+    print(f"  triangles: {design.num_triangles:,}")
+    print(f"  max degree: {design.max_degree:,}")
+
+    print("  degree distribution (first rows):")
+    for d, c in list(design.degree_distribution.items())[:6]:
+        print(f"    n({d}) = {c}")
+
+    # -- 3+4. Realize it and validate every property, exactly.
+    report = validate_design(design)
+    print()
+    print(report.to_text())
+
+    # The same declarations work far beyond realizable scale:
+    huge = PowerLawDesign([3, 4, 5, 9, 16, 25, 81, 256, 625], "center")
+    print()
+    print(f"same API at 10^15 edges: {huge.num_edges:,} edges, "
+          f"{huge.num_triangles:,} triangles (exact, never generated)")
+
+
+if __name__ == "__main__":
+    main()

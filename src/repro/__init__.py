@@ -1,0 +1,64 @@
+"""repro — exact design, generation, and validation of extreme-scale
+power-law Kronecker graphs.
+
+A from-scratch Python reproduction of Kepner et al., *Design,
+Generation, and Validation of Extreme Scale Power-Law Graphs*
+(IEEE IPDPS Workshops 2018, arXiv:1803.01281).
+
+Quick tour::
+
+    from repro import PowerLawDesign
+
+    # Exact properties BEFORE any generation — works at 10^30 edges.
+    design = PowerLawDesign([3, 4, 5, 9, 16, 25], self_loop="center")
+    design.num_vertices, design.num_edges, design.num_triangles
+
+    # Realize (memory permitting) and validate measured == predicted.
+    from repro.validate import validate_design
+    report = validate_design(PowerLawDesign([5, 3], "center"))
+    assert report.passed
+
+    # Communication-free parallel generation on simulated ranks.
+    from repro.parallel.generator import generate_design_parallel
+    graph = generate_design_parallel(PowerLawDesign([3, 4, 5]), n_ranks=8)
+
+Subpackages
+-----------
+- :mod:`repro.design` — the exact-design calculator (the paper's core),
+- :mod:`repro.graphs` — star constituents, families, incidence matrices,
+- :mod:`repro.kron` — sparse / lazy Kronecker machinery,
+- :mod:`repro.sparse` — the from-scratch sparse matrix substrate,
+- :mod:`repro.semiring` — GraphBLAS-style semiring algebra,
+- :mod:`repro.parallel` — the Section-V no-communication generator,
+- :mod:`repro.validate` — measured-vs-predicted validation,
+- :mod:`repro.baselines` — R-MAT / Chung-Lu comparison generators,
+- :mod:`repro.analysis` — power-law fits and figure series,
+- :mod:`repro.io` — TSV / NPZ / JSON artifacts.
+"""
+
+from repro._version import __version__
+from repro.design import DegreeDistribution, PowerLawDesign, design_for_scale
+from repro.errors import ReproError
+from repro.graphs import Graph, StarGraph, SelfLoop
+from repro.kron import KroneckerChain, kron, kron_chain
+from repro.parallel import ParallelKroneckerGenerator, VirtualCluster
+from repro.parallel.generator import generate_design_parallel
+from repro.validate import validate_design
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PowerLawDesign",
+    "DegreeDistribution",
+    "design_for_scale",
+    "StarGraph",
+    "SelfLoop",
+    "Graph",
+    "KroneckerChain",
+    "kron",
+    "kron_chain",
+    "VirtualCluster",
+    "ParallelKroneckerGenerator",
+    "generate_design_parallel",
+    "validate_design",
+]

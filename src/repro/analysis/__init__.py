@@ -1,0 +1,66 @@
+"""Analysis helpers: power-law fitting, log binning, figure series.
+
+These turn exact designs and measured graphs into the data series the
+paper's figures plot (degree vs. count on log-log axes), handling counts
+far beyond float range by working in log10 space with exact-int inputs.
+"""
+
+from repro.analysis.powerlaw import (
+    fit_power_law,
+    power_law_deviation,
+    PowerLawFit,
+)
+from repro.analysis.binning import log_bin_series
+from repro.analysis.centrality import (
+    betweenness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    top_k_vertices,
+)
+from repro.analysis.enumeration import (
+    count_by_enumeration,
+    enumerate_triangles,
+    iter_triangles,
+)
+from repro.analysis.series import (
+    FigureSeries,
+    ccdf_series,
+    degree_series,
+    ideal_power_law_series,
+)
+from repro.analysis.truss import TrussResult, edge_support, k_truss, max_truss_number
+from repro.analysis.spy import spy, spy_with_caption
+from repro.analysis.compare import (
+    ComparisonReport,
+    distribution_report,
+    ks_distance_log,
+    total_variation_distance,
+)
+
+__all__ = [
+    "fit_power_law",
+    "power_law_deviation",
+    "PowerLawFit",
+    "log_bin_series",
+    "FigureSeries",
+    "degree_series",
+    "ideal_power_law_series",
+    "ccdf_series",
+    "degree_centrality",
+    "eigenvector_centrality",
+    "betweenness_centrality",
+    "top_k_vertices",
+    "enumerate_triangles",
+    "iter_triangles",
+    "count_by_enumeration",
+    "edge_support",
+    "k_truss",
+    "max_truss_number",
+    "TrussResult",
+    "spy",
+    "spy_with_caption",
+    "total_variation_distance",
+    "ks_distance_log",
+    "distribution_report",
+    "ComparisonReport",
+]

@@ -1,0 +1,116 @@
+"""Centrality measures on realized graphs — a paper "future research" item.
+
+The paper lists betweenness centrality among properties "that could be
+computed in future research".  This module provides it (Brandes'
+algorithm) plus degree and eigenvector centrality for realized graphs.
+These run on materialized adjacency matrices; for never-materialized
+chains, eigenvector centrality is available matrix-free via
+:func:`repro.kron.power_iteration`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.adjacency import Graph
+from repro.sparse.convert import as_coo
+
+
+def degree_centrality(graph: Graph) -> np.ndarray:
+    """Degree / (n - 1) per vertex (the conventional normalization)."""
+    n = graph.num_vertices
+    if n < 2:
+        return np.zeros(n, dtype=np.float64)
+    return graph.degree_vector().astype(np.float64) / (n - 1)
+
+
+def eigenvector_centrality(
+    graph: Graph, *, max_iterations: int = 500, tol: float = 1e-12
+) -> np.ndarray:
+    """Power-iteration eigenvector centrality (non-negative, unit norm).
+
+    Requires a symmetric adjacency matrix.  Iterates on ``A + I`` — the
+    shift leaves eigenvectors unchanged but breaks the ``±λ`` magnitude
+    tie of bipartite graphs (stars!), on which plain iteration would
+    oscillate forever.  Starting from the uniform (non-negative) vector,
+    convergence is to the Perron vector of the dominant component.
+    """
+    coo = as_coo(graph.adjacency)
+    if not coo.is_symmetric():
+        raise ValidationError("eigenvector centrality requires a symmetric graph")
+    n = coo.shape[0]
+    v = np.full(n, 1.0 / np.sqrt(n))
+    vals = coo.vals.astype(np.float64)
+    for _ in range(max_iterations):
+        w = v.copy()  # the +I term
+        np.add.at(w, coo.rows, vals * v[coo.cols])
+        norm = np.linalg.norm(w)
+        if norm == 0.0:
+            return v  # empty graph: uniform vector is as good as any
+        w /= norm
+        if np.linalg.norm(w - v) <= tol:
+            return w
+        v = w
+    return v
+
+
+def betweenness_centrality(graph: Graph, *, normalized: bool = True) -> np.ndarray:
+    """Brandes' exact betweenness for an undirected, unweighted graph.
+
+    O(V·E) BFS-based accumulation.  With ``normalized``, scores divide
+    by ``(n-1)(n-2)/2`` (undirected convention); pairs in different
+    components simply contribute nothing, matching NetworkX.
+    """
+    coo = as_coo(graph.adjacency)
+    if not coo.is_symmetric():
+        raise ValidationError("betweenness requires a symmetric graph")
+    csr = coo.to_csr()
+    n = coo.shape[0]
+    centrality = np.zeros(n, dtype=np.float64)
+    neighbors: List[np.ndarray] = [csr.row(v)[0] for v in range(n)]
+
+    for source in range(n):
+        # --- single-source shortest paths (BFS) with path counting.
+        sigma = np.zeros(n)
+        sigma[source] = 1.0
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[source] = 0
+        predecessors: List[List[int]] = [[] for _ in range(n)]
+        stack: List[int] = []
+        queue: deque[int] = deque([source])
+        while queue:
+            v = queue.popleft()
+            stack.append(v)
+            for w in neighbors[v]:
+                w = int(w)
+                if w == v:
+                    continue  # self-loops never lie on shortest paths
+                if dist[w] < 0:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+                if dist[w] == dist[v] + 1:
+                    sigma[w] += sigma[v]
+                    predecessors[w].append(v)
+        # --- dependency accumulation in reverse BFS order.
+        delta = np.zeros(n)
+        while stack:
+            w = stack.pop()
+            for v in predecessors[w]:
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w])
+            if w != source:
+                centrality[w] += delta[w]
+    centrality /= 2.0  # each undirected pair counted from both endpoints
+    if normalized and n > 2:
+        centrality /= (n - 1) * (n - 2) / 2.0
+    return centrality
+
+
+def top_k_vertices(scores: np.ndarray, k: int = 10) -> List[tuple[int, float]]:
+    """The k highest-scoring vertices as (vertex, score), descending."""
+    k = min(k, len(scores))
+    idx = np.argsort(-scores, kind="stable")[:k]
+    return [(int(i), float(scores[i])) for i in idx]

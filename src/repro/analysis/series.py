@@ -1,0 +1,92 @@
+"""Figure-ready data series.
+
+Each of the paper's degree-distribution figures (4, 5, 6, 7) plots up to
+three series on log-log axes: the ideal power-law line, the predicted
+distribution, and (when a graph was realized) the measured distribution.
+:class:`FigureSeries` carries those as (log10 d, log10 n) float arrays,
+computed from exact ints, so a plotting layer — or the text renderer in
+the benchmarks — can consume them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from repro.analysis.powerlaw import _log10_exact
+from repro.design.distribution import DegreeDistribution
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One plottable series: parallel log10-degree / log10-count lists."""
+
+    label: str
+    log10_degree: Tuple[float, ...]
+    log10_count: Tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.log10_degree)
+
+    def to_rows(self) -> List[Tuple[float, float]]:
+        return list(zip(self.log10_degree, self.log10_count))
+
+
+def degree_series(
+    distribution: DegreeDistribution | Mapping[int, int], label: str = "predicted"
+) -> FigureSeries:
+    """Convert an exact distribution into a log-log series (degree 0
+    entries are dropped — they have no place on a log axis)."""
+    items = (
+        list(distribution.items())
+        if isinstance(distribution, DegreeDistribution)
+        else sorted(distribution.items())
+    )
+    xs, ys = [], []
+    for d, c in items:
+        if d > 0 and c > 0:
+            xs.append(_log10_exact(d))
+            ys.append(_log10_exact(c))
+    return FigureSeries(label=label, log10_degree=tuple(xs), log10_count=tuple(ys))
+
+
+def ccdf_series(
+    distribution: DegreeDistribution | Mapping[int, int], label: str = "ccdf"
+) -> FigureSeries:
+    """Complementary CDF series: P(degree >= d) per distinct degree.
+
+    The standard noise-free view for power-law verification (a pure
+    ``n(d) = c/d`` law gives a CCDF bending as ``~log d`` corrections; a
+    ``d^-α`` tail shows slope ``1-α``).  Computed with exact integer
+    cumulative sums, then converted to log10.
+    """
+    items = (
+        list(distribution.items())
+        if isinstance(distribution, DegreeDistribution)
+        else sorted(distribution.items())
+    )
+    items = [(d, c) for d, c in items if d > 0]
+    total = sum(c for _, c in items)
+    xs, ys = [], []
+    remaining = total
+    for d, c in items:
+        if remaining > 0:
+            xs.append(_log10_exact(d))
+            ys.append(_log10_exact(remaining) - _log10_exact(total))
+        remaining -= c
+    return FigureSeries(label=label, log10_degree=tuple(xs), log10_count=tuple(ys))
+
+
+def ideal_power_law_series(
+    coefficient: int, d_max: int, *, alpha: float = 1.0, points: int = 64, label: str = "power-law"
+) -> FigureSeries:
+    """The straight reference line ``n(d) = coefficient / d^alpha``
+    sampled at ``points`` log-spaced degrees in [1, d_max]."""
+    log_c = _log10_exact(coefficient)
+    log_dmax = _log10_exact(max(d_max, 2))
+    xs, ys = [], []
+    for i in range(points):
+        x = log_dmax * i / (points - 1) if points > 1 else 0.0
+        xs.append(x)
+        ys.append(log_c - alpha * x)
+    return FigureSeries(label=label, log10_degree=tuple(xs), log10_count=tuple(ys))

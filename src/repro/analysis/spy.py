@@ -1,0 +1,81 @@
+"""Text "spy" plots — terminal rendering of sparse structure.
+
+The paper's Figures 1 and 2 are spy plots of small Kronecker products
+(including the permuted "P=" view).  This renders the same pictures as
+Unicode block art so examples and docs can show structure without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.convert import AnySparse, as_coo
+
+#: 2x2 sub-cell occupancy -> quadrant block characters.
+_QUAD = {
+    (0, 0, 0, 0): " ",
+    (1, 0, 0, 0): "▘",
+    (0, 1, 0, 0): "▝",
+    (0, 0, 1, 0): "▖",
+    (0, 0, 0, 1): "▗",
+    (1, 1, 0, 0): "▀",
+    (0, 0, 1, 1): "▄",
+    (1, 0, 1, 0): "▌",
+    (0, 1, 0, 1): "▐",
+    (1, 0, 0, 1): "▚",
+    (0, 1, 1, 0): "▞",
+    (1, 1, 1, 0): "▛",
+    (1, 1, 0, 1): "▜",
+    (1, 0, 1, 1): "▙",
+    (0, 1, 1, 1): "▟",
+    (1, 1, 1, 1): "█",
+}
+
+
+def spy(matrix: AnySparse, *, max_width: int = 64) -> str:
+    """A spy plot as a multi-line string, 2x2 entries per character.
+
+    Matrices wider/taller than ``2 * max_width`` are binned down (a
+    character cell is "on" if any entry lands in it), so structure stays
+    readable at any size.
+    """
+    coo = as_coo(matrix)
+    n, m = coo.shape
+    if n == 0 or m == 0:
+        raise ShapeError(f"cannot spy an empty-shape matrix {coo.shape}")
+    # Scale so the rendered grid is at most 2*max_width cells per side.
+    limit = 2 * max_width
+    scale = max(1, (max(n, m) + limit - 1) // limit)
+    grid_rows = (n + scale - 1) // scale
+    grid_cols = (m + scale - 1) // scale
+    occupied = np.zeros((grid_rows, grid_cols), dtype=bool)
+    if coo.nnz:
+        occupied[coo.rows // scale, coo.cols // scale] = True
+    # Pad to even dimensions for 2x2 character cells.
+    pad_r = (-grid_rows) % 2
+    pad_c = (-grid_cols) % 2
+    if pad_r or pad_c:
+        occupied = np.pad(occupied, ((0, pad_r), (0, pad_c)))
+    lines = []
+    for r in range(0, occupied.shape[0], 2):
+        chars = []
+        for c in range(0, occupied.shape[1], 2):
+            key = (
+                int(occupied[r, c]),
+                int(occupied[r, c + 1]),
+                int(occupied[r + 1, c]),
+                int(occupied[r + 1, c + 1]),
+            )
+            chars.append(_QUAD[key])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def spy_with_caption(matrix: AnySparse, caption: str, *, max_width: int = 64) -> str:
+    """Spy plot with a one-line caption and nnz/shape footer."""
+    coo = as_coo(matrix)
+    body = spy(coo, max_width=max_width)
+    footer = f"shape {coo.shape[0]}x{coo.shape[1]}, nnz {coo.nnz:,}"
+    return f"{caption}\n{body}\n{footer}"

@@ -1,0 +1,32 @@
+"""Baseline random graph generators.
+
+The paper's introduction contrasts its exact-design approach with random
+generators whose properties are only knowable *after* generation:
+
+* :mod:`~repro.baselines.rmat` — the Graph500 / GraphChallenge R-MAT
+  stochastic Kronecker sampler,
+* :mod:`~repro.baselines.chung_lu` — a degree-distribution-driven random
+  generator (the Seshadhri/Kolda/Pinar family the paper cites),
+* :mod:`~repro.baselines.iterative_design` — the trial-and-error design
+  loop both of the above force on a graph designer, instrumented so the
+  benchmarks can price it against :func:`repro.design.design_for_scale`.
+"""
+
+from repro.baselines.barabasi_albert import barabasi_albert_graph
+from repro.baselines.rmat import RMATParameters, rmat_edges, rmat_graph
+from repro.baselines.chung_lu import chung_lu_graph, expected_degrees_power_law
+from repro.baselines.iterative_design import (
+    IterativeDesignResult,
+    iterative_rmat_design,
+)
+
+__all__ = [
+    "barabasi_albert_graph",
+    "RMATParameters",
+    "rmat_edges",
+    "rmat_graph",
+    "chung_lu_graph",
+    "expected_degrees_power_law",
+    "iterative_rmat_design",
+    "IterativeDesignResult",
+]

@@ -1,0 +1,77 @@
+"""Barabási–Albert preferential attachment.
+
+The paper's first power-law citation is Barabási & Albert 1999; BA is
+the canonical *grown* power-law model, so it completes the baseline set
+(R-MAT: recursive sampling; Chung-Lu: prescribed expected degrees; BA:
+growth + preferential attachment).  Like the others, its realized
+properties are only knowable after generation — the contrast the
+benchmarks quantify.
+
+The sampler uses the standard repeated-endpoints trick: keeping every
+edge endpoint in a flat array makes "choose a vertex with probability
+proportional to degree" a uniform draw over that array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.graphs.adjacency import Graph
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels import INDEX_DTYPE
+
+
+def barabasi_albert_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    *,
+    rng: np.random.Generator | None = None,
+) -> Graph:
+    """Grow a BA graph: each new vertex attaches to ``edges_per_vertex``
+    existing vertices chosen preferentially by degree.
+
+    Starts from a star seed on ``edges_per_vertex + 1`` vertices.  The
+    result is simple (per-step duplicate targets are re-drawn as in the
+    standard formulation) and undirected.
+    """
+    rng = rng or np.random.default_rng()
+    m = edges_per_vertex
+    if m < 1:
+        raise GenerationError(f"edges_per_vertex must be >= 1, got {m}")
+    if num_vertices <= m:
+        raise GenerationError(
+            f"need more than {m} vertices for m={m}, got {num_vertices}"
+        )
+    # Seed: star on m+1 vertices (center = vertex 0).
+    endpoints: list[int] = []
+    for leaf in range(1, m + 1):
+        endpoints.extend((0, leaf))
+    sources: list[int] = []
+    targets: list[int] = []
+    for v in range(m + 1, num_vertices):
+        pool = np.asarray(endpoints, dtype=INDEX_DTYPE)
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            draw = rng.choice(pool, size=m - len(chosen))
+            chosen.update(int(t) for t in draw)
+        for t in chosen:
+            sources.append(v)
+            targets.append(t)
+            endpoints.extend((v, t))
+    rows = np.concatenate(
+        [
+            np.asarray(endpoints[0 : 2 * m : 2], dtype=INDEX_DTYPE),
+            np.asarray(sources, dtype=INDEX_DTYPE),
+        ]
+    )
+    cols = np.concatenate(
+        [
+            np.asarray(endpoints[1 : 2 * m : 2], dtype=INDEX_DTYPE),
+            np.asarray(targets, dtype=INDEX_DTYPE),
+        ]
+    )
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    vals = np.ones(len(all_rows), dtype=np.int64)
+    return Graph(COOMatrix((num_vertices, num_vertices), all_rows, all_cols, vals))

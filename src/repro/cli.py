@@ -1,0 +1,281 @@
+"""Command-line interface: ``repro-graph <subcommand>``.
+
+Subcommands mirror the paper's workflow:
+
+* ``design``   — print the exact properties of a star-size list,
+* ``search``   — find star sizes hitting a target edge count,
+* ``generate`` — realize a design on simulated ranks, write TSV files,
+* ``validate`` — realize a design and compare measured vs. predicted,
+* ``scale``    — run a Fig.-3-style rank-count sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.design import PowerLawDesign, design_for_scale
+from repro.errors import ReproError
+
+
+def _add_design_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "star_sizes",
+        type=int,
+        nargs="+",
+        metavar="M_HAT",
+        help="constituent star sizes, e.g. 3 4 5 9 16 25",
+    )
+    p.add_argument(
+        "--self-loop",
+        choices=["none", "center", "leaf"],
+        default="none",
+        help="self-loop policy (center=Case 1 many triangles, leaf=Case 2)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-graph",
+        description="Exact-design Kronecker power-law graphs (Kepner et al. 2018 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_design = sub.add_parser("design", help="print exact properties of a design")
+    _add_design_args(p_design)
+    p_design.add_argument("--max-rows", type=int, default=12, help="distribution rows to print")
+
+    p_search = sub.add_parser("search", help="find star sizes for a target edge count")
+    p_search.add_argument("target_edges", type=int)
+    p_search.add_argument("--self-loop", choices=["none", "center", "leaf"], default="none")
+    p_search.add_argument("--rel-tol", type=float, default=0.5)
+
+    p_gen = sub.add_parser("generate", help="realize a design on simulated ranks")
+    _add_design_args(p_gen)
+    p_gen.add_argument("--ranks", type=int, default=4, help="simulated rank count")
+    p_gen.add_argument("--out", type=str, default=None, help="directory for per-rank TSV files")
+
+    p_val = sub.add_parser("validate", help="realize and check measured == predicted")
+    _add_design_args(p_val)
+
+    p_scale = sub.add_parser("scale", help="edge-rate vs rank-count sweep (Fig. 3 style)")
+    _add_design_args(p_scale)
+    p_scale.add_argument(
+        "--ranks",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="rank counts to sweep",
+    )
+
+    p_spec = sub.add_parser(
+        "spectrum", help="exact adjacency spectrum of a design's raw product"
+    )
+    _add_design_args(p_spec)
+    p_spec.add_argument("--max-rows", type=int, default=10)
+
+    p_tri = sub.add_parser(
+        "triangles", help="realize a design and enumerate its triangles"
+    )
+    _add_design_args(p_tri)
+    p_tri.add_argument("--limit", type=int, default=100, help="max triangles to list")
+
+    p_spy = sub.add_parser("spy", help="terminal spy plot of a realized design")
+    _add_design_args(p_spy)
+    p_spy.add_argument("--width", type=int, default=48, help="max characters wide")
+    p_spy.add_argument(
+        "--permute-components",
+        action="store_true",
+        help="apply the Fig.-1 component-grouping permutation first",
+    )
+
+    p_est = sub.add_parser(
+        "estimate", help="memory footprint and cluster shape for a design"
+    )
+    _add_design_args(p_est)
+    p_est.add_argument(
+        "--rank-memory-gb", type=float, default=4.0, help="per-rank memory budget"
+    )
+
+    p_chk = sub.add_parser(
+        "check-files",
+        help="validate on-disk rank files against a saved design JSON",
+    )
+    p_chk.add_argument("design_json", type=str, help="design saved by repro.io.save_design")
+    p_chk.add_argument("edge_dir", type=str, help="directory of edges.*.tsv rank files")
+    p_chk.add_argument("--prefix", type=str, default="edges")
+    return parser
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    design = PowerLawDesign(args.star_sizes, args.self_loop)
+    print(design.report().to_text(max_rows=args.max_rows))
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    design = design_for_scale(
+        args.target_edges, self_loop=args.self_loop, rel_tol=args.rel_tol
+    )
+    print(f"found design: m̂ = {list(design.star_sizes)}")
+    print(design.report().to_text())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.parallel import ParallelKroneckerGenerator, VirtualCluster
+    from repro.validate import audit_partition
+
+    design = PowerLawDesign(args.star_sizes, args.self_loop)
+    cluster = VirtualCluster(n_ranks=args.ranks)
+    gen = ParallelKroneckerGenerator(design.to_chain(), cluster)
+    blocks = gen.generate_blocks()
+    audit = audit_partition(gen.plan, blocks, design.raw_nnz)
+    print(audit.to_text())
+    rate = gen.edges_per_second(blocks)
+    print(f"simulated aggregate rate: {rate:,.3e} edges/s on {args.ranks} ranks")
+    if args.out:
+        from repro.io import write_rank_files
+
+        paths = write_rank_files(args.out, blocks)
+        print(f"wrote {len(paths)} rank files to {args.out}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate import validate_design
+
+    design = PowerLawDesign(args.star_sizes, args.self_loop)
+    report = validate_design(design)
+    print(report.to_text())
+    return 0 if report.passed else 1
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.parallel.scaling import run_scaling_study
+
+    design = PowerLawDesign(args.star_sizes, args.self_loop)
+    study = run_scaling_study(design.to_chain(), args.ranks)
+    print(study.to_text())
+    return 0
+
+
+def cmd_spectrum(args: argparse.Namespace) -> int:
+    from repro.design import design_spectrum
+
+    design = PowerLawDesign(args.star_sizes, args.self_loop)
+    spectrum = design_spectrum(design)
+    print(
+        f"spectrum of the raw product ({design!r}): "
+        f"{len(spectrum)} distinct eigenvalues, dimension {spectrum.dimension:,}"
+    )
+    print(f"  spectral radius: {spectrum.spectral_radius:.6g}")
+    print(f"  sum lambda^2 (= raw nnz): {spectrum.moment(2):,.6g}")
+    shown = spectrum.pairs[: args.max_rows]
+    for value, mult in shown:
+        print(f"  {value:>14.6g}  x {mult:,}")
+    if len(spectrum.pairs) > args.max_rows:
+        print(f"  ... ({len(spectrum.pairs) - args.max_rows} more)")
+    return 0
+
+
+def cmd_triangles(args: argparse.Namespace) -> int:
+    from repro.analysis import iter_triangles
+
+    design = PowerLawDesign(args.star_sizes, args.self_loop)
+    print(f"predicted triangles: {design.num_triangles:,}")
+    graph = design.realize()
+    shown = 0
+    for triangle in iter_triangles(graph):
+        if shown < args.limit:
+            print(f"  {triangle}")
+        shown += 1
+    if shown > args.limit:
+        print(f"  ... ({shown - args.limit} more)")
+    print(f"enumerated: {shown:,}")
+    return 0 if shown == design.num_triangles else 1
+
+
+def cmd_spy(args: argparse.Namespace) -> int:
+    from repro.analysis import spy_with_caption
+    from repro.kron import component_permutation
+
+    design = PowerLawDesign(args.star_sizes, args.self_loop)
+    graph = design.realize()
+    adjacency = graph.adjacency
+    caption = repr(design)
+    if args.permute_components:
+        adjacency = adjacency.permuted(component_permutation(adjacency))
+        caption += "  (component-permuted)"
+    print(spy_with_caption(adjacency, caption, max_width=args.width))
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.design import estimate_resources, recommend_cluster
+    from repro.errors import DesignError
+
+    design = PowerLawDesign(args.star_sizes, args.self_loop)
+    estimate = estimate_resources(design)
+    print(estimate.to_text())
+    budget = int(args.rank_memory_gb * 2**30)
+    try:
+        rec = recommend_cluster(design, budget)
+        print(f"recommended: {rec.to_text()}")
+    except DesignError as exc:
+        print(f"no feasible cluster at {args.rank_memory_gb} GiB/rank: {exc}")
+        return 1
+    return 0
+
+
+def cmd_check_files(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import IOFormatError
+    from repro.io import load_design
+    from repro.parallel import read_streamed_degree_distribution
+    from repro.validate import check_degree_distribution
+
+    design = load_design(args.design_json)
+    directory = Path(args.edge_dir)
+    files = sorted(
+        p for p in directory.iterdir()
+        if p.name.startswith(args.prefix + ".") and p.suffix == ".tsv"
+    )
+    if not files:
+        raise IOFormatError(f"no {args.prefix}.*.tsv files in {directory}")
+    measured = read_streamed_degree_distribution(files, design.num_vertices)
+    check = check_degree_distribution(measured, design.degree_distribution)
+    print(f"design: {design!r} ({len(files)} rank files)")
+    print(check.to_text())
+    return 0 if check.exact_match else 1
+
+
+_COMMANDS = {
+    "check-files": cmd_check_files,
+    "design": cmd_design,
+    "search": cmd_search,
+    "generate": cmd_generate,
+    "validate": cmd_validate,
+    "scale": cmd_scale,
+    "spectrum": cmd_spectrum,
+    "triangles": cmd_triangles,
+    "spy": cmd_spy,
+    "estimate": cmd_estimate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Exact design of Kronecker power-law graphs — the paper's core.
+
+This package computes every property the paper reports *before* (and
+without ever) generating the graph, using exact arbitrary-precision
+arithmetic:
+
+* :class:`~repro.design.distribution.DegreeDistribution` — exact
+  degree distributions closed under Kronecker product,
+* :mod:`~repro.design.triangles` — constituent triangle factors
+  ``1ᵀ(A²∘A)1`` (closed forms for stars + generic sparse computation),
+* :mod:`~repro.design.corrections` — the Section IV-B/C self-loop
+  removal corrections for edges, degrees, and triangles,
+* :class:`~repro.design.star_design.PowerLawDesign` — the high-level
+  user API: declare star sizes and loop placement, read off exact
+  vertices / edges / degree distribution / triangles, then realize,
+* :mod:`~repro.design.search` — choose star sizes to hit target scale
+  and power-law slope (replacing random generators' trial-and-error),
+* :mod:`~repro.design.properties` — the same exact calculators for
+  arbitrary (non-star) constituent matrices.
+"""
+
+from repro.design.distribution import DegreeDistribution
+from repro.design.triangles import triangle_factor, triangle_count_raw
+from repro.design.corrections import (
+    corrected_degree_distribution,
+    corrected_edge_count,
+    corrected_triangle_count,
+)
+from repro.design.properties import ChainProperties, chain_properties
+from repro.design.star_design import PowerLawDesign
+from repro.design.search import (
+    design_for_scale,
+    has_unique_degree_products,
+    star_size_pool,
+)
+from repro.design.report import DesignReport
+from repro.design.spectrum import (
+    Spectrum,
+    design_spectrum,
+    edge_count_from_spectrum,
+    star_spectrum,
+    triangle_count_from_spectrum,
+)
+from repro.design.binned import (
+    binned_alpha,
+    binned_series,
+    is_exact_under_log_binning,
+    log_binned_design,
+)
+from repro.design.estimate import (
+    ClusterRecommendation,
+    ResourceEstimate,
+    estimate_resources,
+    recommend_cluster,
+)
+from repro.design.joint import (
+    JointDegreeDistribution,
+    design_assortativity,
+    joint_degree_distribution,
+    star_joint,
+)
+from repro.design.sample import (
+    induced_subgraph,
+    sample_edges,
+    sample_edges_final,
+    sample_vertices,
+)
+from repro.design.search import design_for_alpha
+from repro.design.walks import closed_walks, total_walks, walk_profile
+from repro.design.values import (
+    ValueDistribution,
+    total_weight_of_chain,
+    value_distribution,
+)
+
+__all__ = [
+    "ValueDistribution",
+    "value_distribution",
+    "total_weight_of_chain",
+    "estimate_resources",
+    "recommend_cluster",
+    "ResourceEstimate",
+    "ClusterRecommendation",
+    "design_for_alpha",
+    "JointDegreeDistribution",
+    "joint_degree_distribution",
+    "design_assortativity",
+    "star_joint",
+    "closed_walks",
+    "total_walks",
+    "walk_profile",
+    "sample_edges",
+    "sample_edges_final",
+    "sample_vertices",
+    "induced_subgraph",
+    "log_binned_design",
+    "binned_series",
+    "binned_alpha",
+    "is_exact_under_log_binning",
+    "Spectrum",
+    "star_spectrum",
+    "design_spectrum",
+    "triangle_count_from_spectrum",
+    "edge_count_from_spectrum",
+    "DegreeDistribution",
+    "triangle_factor",
+    "triangle_count_raw",
+    "corrected_edge_count",
+    "corrected_degree_distribution",
+    "corrected_triangle_count",
+    "ChainProperties",
+    "chain_properties",
+    "PowerLawDesign",
+    "design_for_scale",
+    "has_unique_degree_products",
+    "star_size_pool",
+    "DesignReport",
+]

@@ -1,0 +1,62 @@
+"""Self-loop removal corrections (Section IV-B and IV-C).
+
+When every constituent carries a self-loop at the same logical vertex
+(all centers, or all looped-leaves), the Kronecker product has exactly
+one self-loop, at the vertex whose digits are all loop vertices.  The
+paper removes that loop from the final graph and corrects the predicted
+properties:
+
+* **edges**: ``nnz(A) - 1``;
+* **degree distribution**: the loop vertex drops from degree ``d_loop``
+  to ``d_loop - 1``;
+* **triangles**: ``Ntri_raw/6 - d_loop/2 + 1/3``, where ``d_loop`` is
+  the loop vertex's pre-removal degree (= row nnz, loop included).
+
+The triangle correction unifies the paper's two cases: for center loops
+``d_loop = ∏(m̂_k + 1) = m_A`` (Case 1's ``-m_A/2``), for leaf loops
+``d_loop = 2^{N_k}`` (Case 2's ``-2^{N_k}/2``).  The exact derivation
+expands ``1ᵀ((A-e_vᵥᵀ)²∘(A-e_vᵥᵀ))1``: the loop contributes one closed
+triple through itself per incident edge per orientation (``3(d_loop-1)``
+walks) plus the pure loop walk (1), and ``6·(1/2 d_loop - 1/3) =
+3 d_loop - 2`` removes exactly those.  Integrality of the result is
+asserted — a non-integer means the inputs violated the construction's
+assumptions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import DesignError
+from repro.design.distribution import DegreeDistribution
+
+
+def corrected_edge_count(raw_nnz: int) -> int:
+    """Edge count after removing the single product self-loop."""
+    if raw_nnz < 1:
+        raise DesignError(f"cannot remove a loop from an empty graph (nnz={raw_nnz})")
+    return raw_nnz - 1
+
+
+def corrected_degree_distribution(
+    dist: DegreeDistribution, loop_degree: int
+) -> DegreeDistribution:
+    """Move the loop vertex from ``loop_degree`` to ``loop_degree - 1``."""
+    if loop_degree < 1:
+        raise DesignError(f"loop vertex degree must be >= 1, got {loop_degree}")
+    return dist.shift_vertex(loop_degree, loop_degree - 1)
+
+
+def corrected_triangle_count(raw_product: int, loop_degree: int) -> int:
+    """Exact triangles after loop removal: ``raw/6 - d_loop/2 + 1/3``."""
+    if loop_degree < 1:
+        raise DesignError(f"loop vertex degree must be >= 1, got {loop_degree}")
+    value = Fraction(raw_product, 6) - Fraction(loop_degree, 2) + Fraction(1, 3)
+    if value.denominator != 1:
+        raise DesignError(
+            f"triangle correction is not an integer ({value}); the "
+            "constituents do not form a single-self-loop product"
+        )
+    if value < 0:
+        raise DesignError(f"triangle correction went negative ({value})")
+    return int(value)

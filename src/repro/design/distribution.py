@@ -1,0 +1,264 @@
+"""Exact degree distributions, closed under the Kronecker product.
+
+The paper's key distributional identity (Section IV)::
+
+    n_A(d) = ⊗_k n_{A_k}(d)
+
+i.e. the degree distribution of a Kronecker product is the Kronecker
+product of the constituent distributions: degrees multiply, counts
+multiply.  :class:`DegreeDistribution` stores ``{degree: count}`` with
+Python ints, so distributions of 10³⁰-edge graphs are exact and cheap
+(the number of *distinct* degrees only multiplies factor-wise).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from repro.errors import DesignError
+
+
+class DegreeDistribution:
+    """An exact vertex-degree histogram ``{d: n(d)}``.
+
+    Immutable by convention: all operations return new instances.  Keys
+    must be non-negative, values positive (zero-count entries are
+    dropped to keep a canonical form).
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[int, int] | Iterable[Tuple[int, int]] = ()) -> None:
+        items = counts.items() if isinstance(counts, Mapping) else counts
+        clean: Dict[int, int] = {}
+        for d, c in items:
+            d, c = int(d), int(c)
+            if d < 0:
+                raise DesignError(f"negative degree {d}")
+            if c < 0:
+                raise DesignError(f"negative count {c} for degree {d}")
+            if c:
+                clean[d] = clean.get(d, 0) + c
+        self._counts = dict(sorted(clean.items()))
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_star(cls, m_hat: int) -> "DegreeDistribution":
+        """Distribution of a plain star: n(1) = m̂, n(m̂) = 1."""
+        if m_hat < 1:
+            raise DesignError(f"star needs m_hat >= 1, got {m_hat}")
+        d = cls()
+        d._counts = {1: m_hat} if m_hat == 1 else {1: m_hat, m_hat: 1}
+        if m_hat == 1:
+            d._counts = {1: 2}
+        return d
+
+    @classmethod
+    def from_degree_vector(cls, degrees: Iterable[int]) -> "DegreeDistribution":
+        """Histogram an iterable of per-vertex degrees."""
+        counts: Dict[int, int] = {}
+        for d in degrees:
+            d = int(d)
+            counts[d] = counts.get(d, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def power_law(cls, coefficient: int, alpha: float, d_max: int) -> "DegreeDistribution":
+        """The ideal curve ``n(d) = coefficient / d^alpha`` sampled at
+        integer degrees 1..d_max (rounded, zero entries dropped).
+
+        Used for plotting/benchmark reference series, not for design.
+        """
+        counts = {}
+        for d in range(1, d_max + 1):
+            n = round(coefficient / d**alpha)
+            if n:
+                counts[d] = n
+        return cls(counts)
+
+    # -- mapping protocol --------------------------------------------------------
+    def __getitem__(self, d: int) -> int:
+        return self._counts.get(int(d), 0)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._counts.items())
+
+    def to_dict(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DegreeDistribution):
+            return self._counts == other._counts
+        if isinstance(other, dict):
+            return self._counts == other
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("DegreeDistribution is not hashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if len(self._counts) <= 6:
+            return f"DegreeDistribution({self._counts})"
+        head = dict(list(self._counts.items())[:3])
+        return (
+            f"DegreeDistribution({len(self)} distinct degrees, "
+            f"d_max={self.max_degree()}, head={head})"
+        )
+
+    # -- exact aggregates -----------------------------------------------------------
+    def num_vertices(self) -> int:
+        """Σ n(d) — total vertices described."""
+        return sum(self._counts.values())
+
+    def total_nnz(self) -> int:
+        """Σ d·n(d) — total stored adjacency entries (the edge count)."""
+        return sum(d * c for d, c in self._counts.items())
+
+    def wedge_count(self) -> int:
+        """Σ n(d)·d·(d-1)/2 — paths of length 2 (exact).
+
+        With the exact triangle count this yields the global clustering
+        coefficient ``3·triangles / wedges`` without touching the graph.
+        """
+        return sum(c * d * (d - 1) // 2 for d, c in self._counts.items())
+
+    def max_degree(self) -> int:
+        if not self._counts:
+            raise DesignError("empty distribution has no max degree")
+        return next(reversed(self._counts))
+
+    def min_degree(self) -> int:
+        if not self._counts:
+            raise DesignError("empty distribution has no min degree")
+        return next(iter(self._counts))
+
+    # -- algebra -----------------------------------------------------------------
+    def kron(self, other: "DegreeDistribution") -> "DegreeDistribution":
+        """The paper's identity: degrees multiply, counts multiply."""
+        out: Dict[int, int] = {}
+        for da, ca in self._counts.items():
+            for db, cb in other._counts.items():
+                d = da * db
+                out[d] = out.get(d, 0) + ca * cb
+        return DegreeDistribution(out)
+
+    def __matmul__(self, other: "DegreeDistribution") -> "DegreeDistribution":
+        return self.kron(other)
+
+    @staticmethod
+    def kron_all(dists: Iterable["DegreeDistribution"]) -> "DegreeDistribution":
+        """Fold :meth:`kron` over an iterable of distributions."""
+        dists = list(dists)
+        if not dists:
+            raise DesignError("kron_all needs at least one distribution")
+        acc = dists[0]
+        for d in dists[1:]:
+            acc = acc.kron(d)
+        return acc
+
+    def shift_vertex(self, old_degree: int, new_degree: int) -> "DegreeDistribution":
+        """Move one vertex from ``old_degree`` to ``new_degree``.
+
+        This is the self-loop-removal adjustment: n(old) -= 1,
+        n(new) += 1.  Raises if no vertex has ``old_degree``.
+        """
+        if self[old_degree] < 1:
+            raise DesignError(f"no vertex of degree {old_degree} to shift")
+        counts = dict(self._counts)
+        counts[old_degree] -= 1
+        counts[new_degree] = counts.get(new_degree, 0) + 1
+        return DegreeDistribution(counts)
+
+    def scaled(self, vertex_factor: int) -> "DegreeDistribution":
+        """Multiply every count by ``vertex_factor`` (disjoint copies)."""
+        if vertex_factor < 0:
+            raise DesignError(f"negative factor {vertex_factor}")
+        return DegreeDistribution({d: c * vertex_factor for d, c in self._counts.items()})
+
+    # -- power-law structure -----------------------------------------------------------
+    def power_law_alpha(self) -> float:
+        """The paper's slope estimate ``α = log n(d_min) / log d_max``.
+
+        For a plain star chain this is exactly 1; for decorated chains it
+        is the headline slope of the fitted line.
+        """
+        if len(self._counts) < 2:
+            raise DesignError("need at least two distinct degrees to measure a slope")
+        d_max = self.max_degree()
+        n_1 = self._counts.get(self.min_degree())
+        if d_max <= 1:
+            raise DesignError("max degree must exceed 1")
+        return math.log(n_1) / math.log(d_max)
+
+    def fit_alpha(self) -> Tuple[float, float]:
+        """Least-squares fit of ``log n = log c - α log d``.
+
+        Returns ``(alpha, coefficient)``.  Degree-0 entries are excluded
+        (log-undefined); requires >= 2 distinct positive degrees.
+        """
+        pts = [(d, c) for d, c in self._counts.items() if d > 0]
+        if len(pts) < 2:
+            raise DesignError("need at least two positive-degree points to fit")
+        xs = [math.log(d) for d, _ in pts]
+        ys = [math.log(c) for _, c in pts]
+        n = len(xs)
+        mx = sum(xs) / n
+        my = sum(ys) / n
+        sxx = sum((x - mx) ** 2 for x in xs)
+        if sxx == 0:
+            raise DesignError("degenerate fit: all degrees equal")
+        sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+        slope = sxy / sxx
+        intercept = my - slope * mx
+        return -slope, math.exp(intercept)
+
+    def is_exact_power_law(self) -> bool:
+        """True if every point lies exactly on ``n(d) = c / d^α`` with the
+        constants implied by the extremes — the paper's Fig. 5 property.
+
+        Checked in exact integer arithmetic for α = 1 style laws:
+        ``n(d) · d^a == c^...``.  General α uses an exact rational test
+        ``n(d)^log-relation`` via cross-multiplication on integer powers,
+        so the test is only meaningful when α is rational with small
+        denominator; the common (and paper's) case α = 1 reduces to
+        ``d · n(d) == constant``.
+        """
+        pts = [(d, c) for d, c in self._counts.items() if d > 0]
+        if len(pts) < 2:
+            return True
+        # α = 1 exact test: d * n(d) constant.
+        products = {d * c for d, c in pts}
+        return len(products) == 1
+
+    # -- presentation -----------------------------------------------------------------
+    def series(self) -> Tuple[List[int], List[int]]:
+        """(degrees, counts) as parallel sorted lists — plot-ready."""
+        return list(self._counts.keys()), list(self._counts.values())
+
+    def log_binned(self, base: float = 2.0) -> Dict[Tuple[int, int], int]:
+        """Counts aggregated into logarithmic degree bins.
+
+        Bin k covers degrees ``[base^k, base^(k+1))``; returns
+        ``{(lo, hi): total_count}`` for non-empty bins.  This is the
+        paper's "logarithmic degree binning" view (Section III).
+        """
+        if base <= 1:
+            raise DesignError(f"bin base must exceed 1, got {base}")
+        bins: Dict[Tuple[int, int], int] = {}
+        for d, c in self._counts.items():
+            if d == 0:
+                key = (0, 1)
+            else:
+                k = int(math.floor(math.log(d, base) + 1e-12))
+                lo = int(math.ceil(base**k))
+                hi = int(math.ceil(base ** (k + 1)))
+                key = (lo, hi)
+            bins[key] = bins.get(key, 0) + c
+        return dict(sorted(bins.items()))

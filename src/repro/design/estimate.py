@@ -1,0 +1,138 @@
+"""Resource estimation for designs — "will it fit?" before generating.
+
+Section V's split rule is a memory constraint ("designed so that both
+can fit in the memory of any one processor"); this module turns the
+design's exact counts into concrete byte/laout estimates and a
+recommended cluster shape, so a user can answer feasibility questions
+without trial allocations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.design.star_design import PowerLawDesign
+from repro.errors import DesignError
+
+#: Bytes per stored entry in COO triples form (row + col + value, int64).
+BYTES_PER_COO_ENTRY = 24
+
+#: Bytes per stored entry in CSR form (col index + value; indptr amortized).
+BYTES_PER_CSR_ENTRY = 16
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Exact-count-derived resource footprint of a design."""
+
+    num_vertices: int
+    num_edges: int
+    coo_bytes: int
+    csr_bytes: int
+    indptr_bytes: int
+
+    @property
+    def total_csr_bytes(self) -> int:
+        return self.csr_bytes + self.indptr_bytes
+
+    def fits_in(self, memory_bytes: int) -> bool:
+        """Whether the COO triples form fits in ``memory_bytes``."""
+        return self.coo_bytes <= memory_bytes
+
+    def to_text(self) -> str:
+        return (
+            f"{self.num_vertices:,} vertices, {self.num_edges:,} edges -> "
+            f"COO {_human(self.coo_bytes)}, CSR {_human(self.total_csr_bytes)}"
+        )
+
+
+def estimate_resources(design: PowerLawDesign) -> ResourceEstimate:
+    """Exact memory footprint of materializing ``design``."""
+    edges = design.num_edges
+    vertices = design.num_vertices
+    return ResourceEstimate(
+        num_vertices=vertices,
+        num_edges=edges,
+        coo_bytes=edges * BYTES_PER_COO_ENTRY,
+        csr_bytes=edges * BYTES_PER_CSR_ENTRY,
+        indptr_bytes=8 * (vertices + 1),
+    )
+
+
+@dataclass(frozen=True)
+class ClusterRecommendation:
+    """A cluster shape that generates the design within per-rank memory."""
+
+    n_ranks: int
+    split_index: int
+    per_rank_edges: int
+    per_rank_bytes: int
+    b_nnz: int
+    c_nnz: int
+
+    def to_text(self) -> str:
+        return (
+            f"{self.n_ranks:,} ranks, split at factor {self.split_index} "
+            f"(nnz(B)={self.b_nnz:,}, nnz(C)={self.c_nnz:,}); "
+            f"~{self.per_rank_edges:,} edges/rank = {_human(self.per_rank_bytes)}/rank"
+        )
+
+
+def recommend_cluster(
+    design: PowerLawDesign, memory_bytes_per_rank: int
+) -> ClusterRecommendation:
+    """Smallest rank count (and a feasible split) that keeps every
+    rank's working set — its block plus the B slice and C — under
+    ``memory_bytes_per_rank``.
+
+    Raises :class:`DesignError` when no split satisfies the budget even
+    with one triple per rank (the constituents themselves are too big).
+    """
+    if memory_bytes_per_rank < BYTES_PER_COO_ENTRY:
+        raise DesignError("memory budget below one stored entry")
+    chain_nnz = [s.nnz for s in design.stars]
+    total = design.raw_nnz
+    budget_entries = memory_bytes_per_rank // BYTES_PER_COO_ENTRY
+    best: ClusterRecommendation | None = None
+    prefix = 1
+    for k in range(1, len(chain_nnz)):
+        prefix *= chain_nnz[k - 1]
+        suffix = total // prefix
+        if suffix > budget_entries:
+            continue  # C alone does not fit on a rank
+        # Block size per rank = ceil(prefix / ranks) * suffix entries;
+        # want block + C <= budget.
+        block_budget = budget_entries - suffix
+        if block_budget < suffix:
+            continue  # cannot hold even one B triple's fanout
+        triples_per_rank = max(1, block_budget // suffix)
+        ranks = math.ceil(prefix / triples_per_rank)
+        per_rank_edges = min(triples_per_rank, prefix) * suffix
+        candidate = ClusterRecommendation(
+            n_ranks=ranks,
+            split_index=k,
+            per_rank_edges=per_rank_edges,
+            per_rank_bytes=per_rank_edges * BYTES_PER_COO_ENTRY,
+            b_nnz=prefix,
+            c_nnz=suffix,
+        )
+        if best is None or candidate.n_ranks < best.n_ranks:
+            best = candidate
+    if best is None:
+        raise DesignError(
+            f"no B/C split of {list(chain_nnz)} fits "
+            f"{_human(memory_bytes_per_rank)} per rank"
+        )
+    return best
+
+
+def _human(n_bytes: int) -> str:
+    """1536 -> '1.5 KiB'; exact ints in, short strings out."""
+    units = ["B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"]
+    value = float(n_bytes)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{n_bytes} B"  # pragma: no cover

@@ -1,0 +1,91 @@
+"""Exact properties of a Kronecker chain of arbitrary constituents.
+
+:func:`chain_properties` is the generic calculator behind
+:class:`~repro.design.star_design.PowerLawDesign`: it takes any list of
+square constituent matrices (not just stars) and returns the exact
+vertex count, nnz, degree distribution, and raw triangle product of the
+(never-formed) Kronecker product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Sequence, Tuple
+
+from repro.design.distribution import DegreeDistribution
+from repro.design.triangles import triangle_factor
+from repro.errors import DesignError, ShapeError
+from repro.graphs.degree import degree_distribution_of
+from repro.sparse.convert import AnySparse, as_coo
+
+
+@dataclass(frozen=True)
+class ChainProperties:
+    """Exact pre-generation properties of a Kronecker product.
+
+    ``triangle_raw`` is the product of constituent triangle factors —
+    divide by 6 for the loop-free triangle count; ``triangles`` holds
+    that quotient when it is well-defined (symmetric loop-free inputs).
+    """
+
+    num_vertices: int
+    nnz: int
+    degree_distribution: DegreeDistribution
+    triangle_raw: int
+
+    @property
+    def triangles(self) -> int:
+        """Loop-free triangle count ``triangle_raw / 6`` (exact)."""
+        if self.triangle_raw % 6 != 0:
+            raise DesignError(
+                f"raw triangle product {self.triangle_raw} is not divisible "
+                "by 6; the product carries self-loops — use the corrected "
+                "calculators in repro.design.corrections"
+            )
+        return self.triangle_raw // 6
+
+    @property
+    def num_edges(self) -> int:
+        """Paper convention: edge count == nnz of the adjacency matrix."""
+        return self.nnz
+
+
+def chain_properties(constituents: Sequence[AnySparse]) -> ChainProperties:
+    """Compute :class:`ChainProperties` for a sequence of square matrices."""
+    if not constituents:
+        raise DesignError("need at least one constituent")
+    mats = [as_coo(c) for c in constituents]
+    for k, m in enumerate(mats):
+        if m.shape[0] != m.shape[1]:
+            raise ShapeError(f"constituent {k} is not square: {m.shape}")
+    return ChainProperties(
+        num_vertices=prod(m.shape[0] for m in mats),
+        nnz=prod(m.nnz for m in mats),
+        degree_distribution=DegreeDistribution.kron_all(
+            DegreeDistribution(degree_distribution_of(m)) for m in mats
+        ),
+        triangle_raw=prod(triangle_factor(m) for m in mats),
+    )
+
+
+def loop_vertex_degree(constituents: Sequence[AnySparse], loop_digits: Sequence[int]) -> Tuple[int, int]:
+    """(flat index, pre-removal degree) of the product's self-loop vertex.
+
+    ``loop_digits[k]`` is the looped vertex of constituent ``k``.  The
+    degree multiplies factor-wise: row nnz of each constituent's loop row.
+    """
+    mats = [as_coo(c) for c in constituents]
+    if len(loop_digits) != len(mats):
+        raise DesignError("one loop digit per constituent required")
+    flat = 0
+    degree = 1
+    for m, v in zip(mats, loop_digits):
+        v = int(v)
+        if not 0 <= v < m.shape[0]:
+            raise DesignError(f"loop vertex {v} out of range for shape {m.shape}")
+        if m.get(v, v, 0) == 0:
+            raise DesignError(f"constituent has no self-loop at vertex {v}")
+        flat = flat * m.shape[0] + v
+        degree *= int((m.rows == v).sum())
+    return flat, degree

@@ -1,0 +1,53 @@
+"""Design reports — printable summaries of exact graph designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.design.distribution import DegreeDistribution
+
+
+@dataclass(frozen=True)
+class DesignReport:
+    """All exact properties of a design, ready for display or comparison.
+
+    ``to_text()`` renders the same quantities the paper's figure captions
+    quote (vertex / edge / triangle counts plus the distribution head).
+    """
+
+    star_sizes: Tuple[int, ...]
+    self_loop: str
+    num_vertices: int
+    num_edges: int
+    num_triangles: int
+    degree_distribution: DegreeDistribution
+
+    def to_text(self, *, max_rows: int = 12) -> str:
+        lines = [
+            f"Kronecker power-law design: m̂ = {list(self.star_sizes)}"
+            + ("" if self.self_loop == "none" else f"  (self-loop: {self.self_loop})"),
+            f"  vertices : {self.num_vertices:,}",
+            f"  edges    : {self.num_edges:,}",
+            f"  triangles: {self.num_triangles:,}",
+            f"  distinct degrees: {len(self.degree_distribution)}",
+            "  degree distribution (d : n(d)):",
+        ]
+        items = list(self.degree_distribution.items())
+        shown = items if len(items) <= max_rows else items[: max_rows - 1]
+        for d, c in shown:
+            lines.append(f"    {d:>20,} : {c:,}")
+        if len(items) > max_rows:
+            lines.append(f"    ... ({len(items) - len(shown)} more rows)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dictionary (distribution keys stringified)."""
+        return {
+            "star_sizes": list(self.star_sizes),
+            "self_loop": self.self_loop,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "num_triangles": self.num_triangles,
+            "degree_distribution": {str(d): c for d, c in self.degree_distribution.items()},
+        }

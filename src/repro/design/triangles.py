@@ -1,0 +1,52 @@
+"""Triangle-count factors of constituent matrices.
+
+Section IV-A: the total triangle count of a Kronecker product factors as
+
+    Ntri(A) = (1/6) ∏_k 1ᵀ(A_k A_k ∘ A_k) 1
+
+so each constituent contributes a scalar "triangle factor"
+``1ᵀ(A²∘A)1``.  This module computes that factor:
+
+* in closed form for star variants (O(1), works for m̂ = 14641 and far
+  beyond),
+* generically for arbitrary sparse constituents via the library SpGEMM.
+
+Both paths are cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Iterable
+
+from repro.graphs.star import SelfLoop, StarGraph
+from repro.sparse.convert import AnySparse, as_coo
+
+
+def triangle_factor(constituent: AnySparse | StarGraph) -> int:
+    """``1ᵀ(A²∘A)1`` for one constituent.
+
+    Accepts a :class:`~repro.graphs.star.StarGraph` (closed form) or any
+    sparse/dense matrix (computed with sparse matrix algebra).
+    """
+    if isinstance(constituent, StarGraph):
+        return constituent.triangle_factor
+    coo = as_coo(constituent)
+    a = coo.to_csr()
+    closed = a.matmul(a).ewise_mult(a)
+    return int(closed.sum())
+
+
+def star_triangle_factor(m_hat: int, self_loop: SelfLoop | str | None = None) -> int:
+    """Closed-form star factor: 0 (plain), 3m̂+1 (center loop), 4 (leaf loop)."""
+    return StarGraph(m_hat, SelfLoop.coerce(self_loop)).triangle_factor
+
+
+def triangle_count_raw(constituents: Iterable[AnySparse | StarGraph]) -> int:
+    """``∏_k 1ᵀ(A_k²∘A_k)1`` — the *uncorrected* product.
+
+    Divide by 6 for a loop-free symmetric product; apply
+    :func:`repro.design.corrections.corrected_triangle_count` when the
+    product carries a to-be-removed self-loop.
+    """
+    return prod(triangle_factor(c) for c in constituents)

@@ -1,0 +1,135 @@
+"""Exact edge-weight distributions of weighted Kronecker products.
+
+The paper's machinery is stated for 0/1 adjacency matrices, but the
+Kronecker product composes *weighted* graphs just as cleanly: product
+entry values are products of factor entry values, so the histogram of
+stored values obeys the same ⊗ identity as the degree distribution —
+values multiply, counts multiply.  This lets a designer predict the
+complete weight histogram of an enormous weighted graph from the
+constituent histograms, exactly.
+
+Only integer weights get exact treatment (Python ints); float-weighted
+matrices can still be histogrammed but land on float keys.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DesignError
+from repro.sparse.convert import AnySparse, as_coo
+
+
+class ValueDistribution:
+    """An exact histogram ``{stored value: count}``.
+
+    Same shape as :class:`~repro.design.DegreeDistribution` but keyed by
+    entry value rather than degree.  Canonical: no zero counts; values
+    of 0 are rejected (a stored zero violates canonical sparse form).
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Dict[int, int] | Iterable[tuple[int, int]] = ()) -> None:
+        items = counts.items() if isinstance(counts, dict) else counts
+        clean: Dict[int, int] = {}
+        for value, count in items:
+            count = int(count)
+            if value == 0:
+                raise DesignError("a canonical sparse matrix stores no zeros")
+            if count < 0:
+                raise DesignError(f"negative count {count} for value {value!r}")
+            if count:
+                clean[value] = clean.get(value, 0) + count
+        self._counts = dict(sorted(clean.items()))
+
+    @classmethod
+    def from_matrix(cls, matrix: AnySparse) -> "ValueDistribution":
+        """Histogram the stored values of a realized matrix."""
+        coo = as_coo(matrix)
+        values, counts = np.unique(coo.vals, return_counts=True)
+        integer = np.issubdtype(coo.dtype, np.integer)
+        return cls(
+            {
+                (int(v) if integer else float(v)): int(c)
+                for v, c in zip(values, counts)
+            }
+        )
+
+    # -- mapping-ish --------------------------------------------------------
+    def __getitem__(self, value) -> int:
+        return self._counts.get(value, 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self):
+        return iter(self._counts.items())
+
+    def to_dict(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ValueDistribution):
+            return self._counts == other._counts
+        if isinstance(other, dict):
+            return self._counts == other
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("ValueDistribution is not hashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ValueDistribution({self._counts})"
+
+    # -- exact aggregates ---------------------------------------------------------
+    def total_nnz(self) -> int:
+        """Σ counts — the matrix's stored-entry count."""
+        return sum(self._counts.values())
+
+    def total_weight(self) -> int:
+        """Σ value · count — ``1ᵀ A 1`` for the weighted matrix."""
+        return sum(v * c for v, c in self._counts.items())
+
+    # -- algebra ----------------------------------------------------------------
+    def kron(self, other: "ValueDistribution") -> "ValueDistribution":
+        """Product histogram: values multiply, counts multiply."""
+        out: Dict[int, int] = {}
+        for va, ca in self._counts.items():
+            for vb, cb in other._counts.items():
+                v = va * vb
+                out[v] = out.get(v, 0) + ca * cb
+        return ValueDistribution(out)
+
+    @staticmethod
+    def kron_all(dists: Sequence["ValueDistribution"]) -> "ValueDistribution":
+        dists = list(dists)
+        if not dists:
+            raise DesignError("kron_all needs at least one distribution")
+        acc = dists[0]
+        for d in dists[1:]:
+            acc = acc.kron(d)
+        return acc
+
+
+def value_distribution(constituents: Sequence[AnySparse]) -> ValueDistribution:
+    """Exact value histogram of ``⊗ A_k`` from the constituents.
+
+    Never forms the product; cost is the product of the (tiny) numbers
+    of *distinct* values per factor.
+    """
+    if not constituents:
+        raise DesignError("need at least one constituent")
+    return ValueDistribution.kron_all(
+        [ValueDistribution.from_matrix(c) for c in constituents]
+    )
+
+
+def total_weight_of_chain(constituents: Sequence[AnySparse]) -> int:
+    """``1ᵀ (⊗A_k) 1 = ∏ 1ᵀ A_k 1`` — exact, via factor sums."""
+    if not constituents:
+        raise DesignError("need at least one constituent")
+    return prod(int(as_coo(c).sum()) for c in constituents)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle all library failures.  Subclasses are
+grouped by subsystem; the constructor signatures stay plain (message-only)
+so errors pickle cleanly across multiprocessing workers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError):
+    """Operands have incompatible shapes for the requested operation."""
+
+
+class FormatError(ReproError):
+    """A sparse matrix is malformed (bad indptr, out-of-range indices...)."""
+
+
+class SemiringError(ReproError):
+    """A semiring definition is inconsistent or an op is unsupported."""
+
+
+class DesignError(ReproError):
+    """A graph design is invalid (e.g. non-unique degree products)."""
+
+
+class DesignSearchError(DesignError):
+    """No design satisfying the requested constraints could be found."""
+
+
+class GenerationError(ReproError):
+    """Parallel or serial graph generation failed."""
+
+
+class PartitionError(GenerationError):
+    """A parallel partition is infeasible (e.g. more ranks than triples)."""
+
+
+class ValidationError(ReproError):
+    """A generated graph disagrees with its design prediction."""
+
+
+class IOFormatError(ReproError):
+    """An on-disk artifact could not be parsed."""

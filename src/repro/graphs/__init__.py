@@ -1,0 +1,61 @@
+"""Constituent graphs and graph-level wrappers.
+
+The paper builds everything from *star graphs* (Section III) — optionally
+decorated with a self-loop on the center (Case 1, many triangles) or on a
+leaf (Case 2, some triangles).  This package provides those constituents,
+a handful of other classic families used in tests and examples, incidence
+matrices (Section IV-D), and a :class:`~repro.graphs.adjacency.Graph`
+wrapper for realized graphs.
+"""
+
+from repro.graphs.star import SelfLoop, StarGraph, star_adjacency
+from repro.graphs.families import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+)
+from repro.graphs.adjacency import Graph
+from repro.graphs.degree import (
+    degree_distribution_of,
+    degree_map_from_vector,
+    distribution_total_vertices,
+    distribution_total_nnz,
+)
+from repro.graphs.hypergraph import (
+    hyperedge_sizes,
+    hypergraph_clique_expansion,
+    hypergraph_incidence,
+    multigraph_adjacency,
+    multigraph_incidence,
+    vertex_hyperdegrees,
+)
+from repro.graphs.incidence import (
+    adjacency_from_incidence,
+    incidence_matrices,
+)
+
+__all__ = [
+    "StarGraph",
+    "SelfLoop",
+    "star_adjacency",
+    "complete_bipartite",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "empty_graph",
+    "Graph",
+    "degree_distribution_of",
+    "degree_map_from_vector",
+    "distribution_total_vertices",
+    "distribution_total_nnz",
+    "incidence_matrices",
+    "adjacency_from_incidence",
+    "multigraph_incidence",
+    "multigraph_adjacency",
+    "hypergraph_incidence",
+    "hypergraph_clique_expansion",
+    "hyperedge_sizes",
+    "vertex_hyperdegrees",
+]

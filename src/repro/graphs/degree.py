@@ -1,0 +1,43 @@
+"""Degree distributions of realized matrices.
+
+A degree distribution is represented throughout the library as an exact
+``dict[int, int]`` mapping degree ``d`` to the number of vertices
+``n(d)`` with that degree.  Vertices of degree 0 are *included* (under
+key 0) when the matrix has empty rows, so totals always reconcile:
+``sum(n.values()) == num_vertices`` and ``sum(d * n[d]) == nnz``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.sparse.convert import AnySparse, as_coo
+from repro.sparse.linalg import degrees
+
+
+def degree_map_from_vector(deg: np.ndarray) -> Dict[int, int]:
+    """Histogram a degree vector into an exact {degree: count} map."""
+    deg = np.asarray(deg)
+    values, counts = np.unique(deg, return_counts=True)
+    return {int(d): int(c) for d, c in zip(values, counts)}
+
+
+def degree_distribution_of(m: AnySparse) -> Dict[int, int]:
+    """Exact degree distribution of a square (adjacency) matrix.
+
+    Degree of vertex v = number of stored entries in row v, the paper's
+    convention for symmetric adjacency matrices.
+    """
+    return degree_map_from_vector(degrees(as_coo(m)))
+
+
+def distribution_total_vertices(dist: Dict[int, int]) -> int:
+    """Total vertex count represented by a distribution."""
+    return sum(dist.values())
+
+
+def distribution_total_nnz(dist: Dict[int, int]) -> int:
+    """Total nnz (sum of degrees) represented by a distribution."""
+    return sum(d * c for d, c in dist.items())

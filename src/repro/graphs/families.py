@@ -1,0 +1,69 @@
+"""Classic graph families beyond stars.
+
+Stars carry the paper's headline results, but Section III's bipartite
+discussion (Fig. 1) and the Kronecker algebra are general; these families
+feed tests, examples, and the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DesignError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels import INDEX_DTYPE
+
+
+def complete_bipartite(na: int, nb: int, *, dtype=np.int64) -> COOMatrix:
+    """K_{na,nb}: every A-side vertex adjacent to every B-side vertex.
+
+    Vertices ``0..na-1`` form side A, ``na..na+nb-1`` side B.  A star with
+    ``m̂`` points is ``complete_bipartite(1, m̂)``.
+    """
+    if na < 1 or nb < 1:
+        raise DesignError(f"both sides need vertices, got ({na}, {nb})")
+    n = na + nb
+    a = np.repeat(np.arange(na, dtype=INDEX_DTYPE), nb)
+    b = np.tile(np.arange(na, n, dtype=INDEX_DTYPE), na)
+    rows = np.concatenate([a, b])
+    cols = np.concatenate([b, a])
+    return COOMatrix((n, n), rows, cols, np.ones(len(rows), dtype=dtype))
+
+
+def path_graph(n: int, *, dtype=np.int64) -> COOMatrix:
+    """P_n: vertices 0..n-1 joined in a line."""
+    if n < 1:
+        raise DesignError(f"path needs at least one vertex, got {n}")
+    i = np.arange(n - 1, dtype=INDEX_DTYPE)
+    rows = np.concatenate([i, i + 1])
+    cols = np.concatenate([i + 1, i])
+    return COOMatrix((n, n), rows, cols, np.ones(len(rows), dtype=dtype))
+
+
+def cycle_graph(n: int, *, dtype=np.int64) -> COOMatrix:
+    """C_n: a ring of n >= 3 vertices."""
+    if n < 3:
+        raise DesignError(f"cycle needs at least 3 vertices, got {n}")
+    i = np.arange(n, dtype=INDEX_DTYPE)
+    j = (i + 1) % n
+    rows = np.concatenate([i, j])
+    cols = np.concatenate([j, i])
+    return COOMatrix((n, n), rows, cols, np.ones(len(rows), dtype=dtype))
+
+
+def complete_graph(n: int, *, dtype=np.int64) -> COOMatrix:
+    """K_n: all pairs adjacent, no self-loops."""
+    if n < 1:
+        raise DesignError(f"complete graph needs at least one vertex, got {n}")
+    rows, cols = np.nonzero(~np.eye(n, dtype=bool))
+    return COOMatrix(
+        (n, n), rows.astype(INDEX_DTYPE), cols.astype(INDEX_DTYPE), np.ones(len(rows), dtype=dtype)
+    )
+
+
+def empty_graph(n: int, *, dtype=np.int64) -> COOMatrix:
+    """n isolated vertices."""
+    if n < 0:
+        raise DesignError(f"vertex count must be non-negative, got {n}")
+    e = np.empty(0, dtype=INDEX_DTYPE)
+    return COOMatrix((n, n), e, e.copy(), np.empty(0, dtype=dtype), _canonical=True)

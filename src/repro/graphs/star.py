@@ -1,0 +1,181 @@
+"""Star graphs — the paper's constituent building block.
+
+A star with ``m̂`` points has ``m = m̂ + 1`` vertices: the *center*
+(vertex 0 in our convention) connected to every point (vertices
+``1..m̂``).  Its degree distribution ``n(1) = m̂, n(m̂) = 1`` is an exact
+power law with slope α = 1, which is why Kronecker products of stars are
+power-law graphs (Section III).
+
+Self-loop decoration (Section IV-B/C):
+
+* ``SelfLoop.CENTER`` stores ``A(0, 0) = 1`` → the Kronecker product
+  becomes triangle-rich (Case 1),
+* ``SelfLoop.LEAF`` stores ``A(m̂, m̂) = 1`` → the product has only a
+  modest number of triangles (Case 2).
+
+Everything about a star needed by the design calculator is available in
+closed form; :meth:`StarGraph.adjacency` materializes it only when a
+realized matrix is wanted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import DesignError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels import INDEX_DTYPE
+
+
+class SelfLoop(enum.Enum):
+    """Where (if anywhere) a constituent star carries a self-loop."""
+
+    NONE = "none"
+    CENTER = "center"
+    LEAF = "leaf"
+
+    @classmethod
+    def coerce(cls, value: "SelfLoop | str | None") -> "SelfLoop":
+        """Accept enum values, their string names, or None."""
+        if value is None:
+            return cls.NONE
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise DesignError(
+                f"invalid self-loop spec {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class StarGraph:
+    """A star constituent with exactly known properties.
+
+    Parameters
+    ----------
+    m_hat:
+        Number of points (leaves); the star has ``m_hat + 1`` vertices.
+    self_loop:
+        Optional self-loop placement (:class:`SelfLoop` or its string
+        value).
+    """
+
+    m_hat: int
+    self_loop: SelfLoop = SelfLoop.NONE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "self_loop", SelfLoop.coerce(self.self_loop))
+        if self.m_hat < 1:
+            raise DesignError(f"a star needs at least one point, got m_hat={self.m_hat}")
+
+    # -- exact scalar properties ------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """m = m̂ + 1 (unaffected by self-loops)."""
+        return self.m_hat + 1
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries of the adjacency matrix: 2m̂ (+1 with a loop)."""
+        base = 2 * self.m_hat
+        return base + (0 if self.self_loop is SelfLoop.NONE else 1)
+
+    @property
+    def triangle_factor(self) -> int:
+        """``1ᵀ(A² ∘ A)1`` in closed form.
+
+        * plain star: bipartite, so ``A² ∘ A = 0`` → factor 0;
+        * center loop: factor ``3m̂ + 1`` (the loop row/column picks up
+          one walk per incident edge in each direction plus the loop
+          itself);
+        * leaf loop: factor 4, independent of m̂ (only the loop entry and
+          its two incident positions contribute).
+
+        Verified against the generic sparse computation in tests.
+        """
+        if self.self_loop is SelfLoop.NONE:
+            return 0
+        if self.self_loop is SelfLoop.CENTER:
+            return 3 * self.m_hat + 1
+        return 4
+
+    @property
+    def max_degree(self) -> int:
+        """Largest row-nnz of the adjacency matrix."""
+        if self.self_loop is SelfLoop.CENTER:
+            return self.m_hat + 1
+        return max(self.m_hat, 2 if self.self_loop is SelfLoop.LEAF else 1)
+
+    def degree_map(self) -> Dict[int, int]:
+        """Exact degree distribution {degree: count} from closed form."""
+        dist: Dict[int, int] = {}
+
+        def bump(d: int, c: int) -> None:
+            if c:
+                dist[d] = dist.get(d, 0) + c
+
+        if self.self_loop is SelfLoop.CENTER:
+            bump(1, self.m_hat)           # every leaf
+            bump(self.m_hat + 1, 1)       # center + its loop
+        elif self.self_loop is SelfLoop.LEAF:
+            bump(1, self.m_hat - 1)       # plain leaves
+            bump(2, 1)                    # looped leaf
+            bump(self.m_hat, 1)           # center
+        else:
+            bump(1, self.m_hat)
+            bump(self.m_hat, 1)
+        return dist
+
+    @property
+    def alpha(self) -> float:
+        """Power-law slope α = log n(1) / log d_max of the plain star (= 1)."""
+        import math
+
+        if self.m_hat == 1:
+            return 1.0
+        return math.log(self.m_hat) / math.log(self.m_hat)
+
+    # -- realization -------------------------------------------------------
+    def adjacency(self, *, dtype=np.int64) -> COOMatrix:
+        """Materialize the (m̂+1) x (m̂+1) adjacency matrix."""
+        return star_adjacency(self.m_hat, self.self_loop, dtype=dtype)
+
+    def loop_vertex(self) -> int | None:
+        """Index of the self-loop vertex, or None."""
+        if self.self_loop is SelfLoop.CENTER:
+            return 0
+        if self.self_loop is SelfLoop.LEAF:
+            return self.m_hat
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        loop = "" if self.self_loop is SelfLoop.NONE else f", loop={self.self_loop.value}"
+        return f"StarGraph(m_hat={self.m_hat}{loop})"
+
+
+def star_adjacency(
+    m_hat: int, self_loop: SelfLoop | str | None = None, *, dtype=np.int64
+) -> COOMatrix:
+    """Adjacency matrix of a star with ``m_hat`` points (center = vertex 0)."""
+    loop = SelfLoop.coerce(self_loop)
+    if m_hat < 1:
+        raise DesignError(f"a star needs at least one point, got m_hat={m_hat}")
+    m = m_hat + 1
+    points = np.arange(1, m, dtype=INDEX_DTYPE)
+    rows = np.concatenate([np.zeros(m_hat, dtype=INDEX_DTYPE), points])
+    cols = np.concatenate([points, np.zeros(m_hat, dtype=INDEX_DTYPE)])
+    if loop is SelfLoop.CENTER:
+        rows = np.append(rows, 0)
+        cols = np.append(cols, 0)
+    elif loop is SelfLoop.LEAF:
+        rows = np.append(rows, m - 1)
+        cols = np.append(cols, m - 1)
+    vals = np.ones(len(rows), dtype=dtype)
+    return COOMatrix((m, m), rows, cols, vals)

@@ -1,0 +1,35 @@
+"""A minimal GraphBLAS-style operation layer.
+
+The paper closes with: "The parallel Kronecker graph generator is
+ideally suited to the GraphBLAS.org software standard and the creation
+of a high performance version using this standard is a future goal."
+This package is that version, scoped to the operations the paper's
+pipeline and its surrounding workloads need:
+
+* :class:`~repro.grb.vector.GrbVector` — sparse vectors with semiring
+  element-wise ops and reductions,
+* :class:`~repro.grb.matrix.GrbMatrix` — matrices with ``mxm`` / ``mxv``
+  / ``vxm`` / ``ewise`` / ``apply`` / ``select`` / ``reduce`` under any
+  registered semiring, with structural masks,
+* :mod:`~repro.grb.algorithms` — the classic GraphBLAS idioms (BFS
+  levels, min-plus SSSP, masked triangle counting, PageRank) expressed
+  in those primitives and cross-checked against NetworkX in the tests.
+"""
+
+from repro.grb.vector import GrbVector
+from repro.grb.matrix import GrbMatrix
+from repro.grb.algorithms import (
+    bfs_levels,
+    pagerank,
+    sssp_min_plus,
+    triangle_count_grb,
+)
+
+__all__ = [
+    "GrbVector",
+    "GrbMatrix",
+    "bfs_levels",
+    "sssp_min_plus",
+    "triangle_count_grb",
+    "pagerank",
+]

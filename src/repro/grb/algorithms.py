@@ -1,0 +1,126 @@
+"""Classic graph algorithms in GraphBLAS idiom.
+
+Each is written exactly as the GraphBLAS literature (which the paper's
+author group helped standardize) presents it: a loop of semiring
+matrix-vector products with masks.  They run on any realized graph —
+including ones produced by the Kronecker generator — and are verified
+against NetworkX in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.adjacency import Graph
+from repro.grb.matrix import GrbMatrix
+from repro.grb.vector import GrbVector
+from repro.semiring.standard import BOOL_OR_AND, MIN_PLUS
+
+
+def bfs_levels(graph: Graph, source: int) -> np.ndarray:
+    """BFS level of every vertex from ``source`` (-1 if unreachable).
+
+    The GraphBLAS textbook loop: frontier ``vxm`` over the boolean
+    semiring, masked by the complement of the visited set.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValidationError(f"source {source} out of range for {n} vertices")
+    a = GrbMatrix(graph.adjacency.to_csr())
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = GrbVector.sparse_unit(n, source, True)
+    visited = frontier
+    level = 0
+    while frontier.nnz:
+        level += 1
+        # next = (frontier x A) masked by not-visited.
+        frontier = a.vxm(
+            frontier, BOOL_OR_AND, mask=visited, mask_complement=True
+        )
+        if frontier.nnz == 0:
+            break
+        levels[frontier.indices] = level
+        visited = visited.ewise_add(frontier, BOOL_OR_AND)
+    return levels
+
+
+def sssp_min_plus(graph: Graph, source: int, *, max_hops: int | None = None) -> np.ndarray:
+    """Single-source shortest paths over the min-plus semiring.
+
+    Bellman-Ford as repeated ``d = d min.+ A`` relaxations; edge weights
+    are the stored adjacency values.  Unreachable vertices get ``inf``.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValidationError(f"source {source} out of range for {n} vertices")
+    coo = graph.adjacency
+    weights = GrbMatrix(
+        type(coo)(coo.shape, coo.rows, coo.cols, coo.vals.astype(np.float64), _canonical=True).to_csr()
+    )
+    # Built under min-plus: 0.0 is that semiring's ONE, not its zero, so
+    # the source entry must survive canonicalization.
+    dist = GrbVector(n, np.array([source]), np.array([0.0]), semiring=MIN_PLUS)
+    hops = max_hops if max_hops is not None else n - 1
+    for _ in range(max(hops, 0)):
+        relaxed = weights.vxm(dist, MIN_PLUS).ewise_add(dist, MIN_PLUS)
+        if relaxed.equal(dist):
+            break
+        dist = relaxed
+    out = np.full(n, np.inf)
+    out[dist.indices] = dist.values
+    return out
+
+
+def triangle_count_grb(graph: Graph) -> int:
+    """The paper's Section IV-A formula in GraphBLAS form.
+
+    ``Ntri = reduce( mxm(A, A, mask=A) ⊗ A ) / 6`` — the masked ``mxm``
+    keeps the computation inside A's pattern.
+    """
+    coo = graph.adjacency
+    if coo.diagonal_nnz():
+        raise ValidationError("triangle counting requires a loop-free graph")
+    a = GrbMatrix(coo.to_csr())
+    closed = a.mxm(a, mask=a).ewise_mult(a)
+    total = int(closed.reduce_scalar())
+    if total % 6:
+        raise ValidationError(f"raw closed-walk count {total} not divisible by 6")
+    return total // 6
+
+
+def pagerank(
+    graph: Graph,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+) -> np.ndarray:
+    """PageRank on a realized graph (the GraphChallenge pipeline the
+    paper's group proposed feeds generated graphs into exactly this).
+
+    Dense-vector implementation with proper dangling-mass
+    redistribution; returns scores summing to 1.
+    """
+    if not 0 < damping < 1:
+        raise ValidationError(f"damping must be in (0, 1), got {damping}")
+    coo = graph.adjacency
+    n = graph.num_vertices
+    if n == 0:
+        raise ValidationError("empty graph has no PageRank")
+    out_degree = coo.row_nnz().astype(np.float64)
+    dangling = out_degree == 0
+    rank = np.full(n, 1.0 / n)
+    inv_out = np.where(dangling, 0.0, 1.0 / np.maximum(out_degree, 1))
+    vals = coo.vals.astype(np.float64)
+    for _ in range(max_iterations):
+        spread = rank * inv_out
+        new = np.zeros(n)
+        np.add.at(new, coo.cols, vals * spread[coo.rows])
+        dangling_mass = rank[dangling].sum()
+        new = damping * (new + dangling_mass / n) + (1 - damping) / n
+        if np.abs(new - rank).sum() <= tol:
+            return new
+        rank = new
+    return rank

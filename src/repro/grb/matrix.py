@@ -1,0 +1,182 @@
+"""GraphBLAS-style matrix wrapper."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.grb.vector import GrbVector
+from repro.semiring.base import Semiring
+from repro.semiring.standard import PLUS_TIMES
+from repro.sparse.convert import AnySparse, as_coo
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.kernels import INDEX_DTYPE
+
+
+class GrbMatrix:
+    """A matrix handle exposing the GraphBLAS operation set.
+
+    Thin, immutable facade over the library's CSR/COO kernels; every
+    operation takes an optional semiring (default plus-times) and, where
+    GraphBLAS defines one, a structural mask.
+    """
+
+    __slots__ = ("_csr",)
+
+    def __init__(self, data: AnySparse | CSRMatrix) -> None:
+        if isinstance(data, CSRMatrix):
+            self._csr = data
+        else:
+            self._csr = as_coo(data).to_csr()
+
+    # -- constructors / accessors -------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "GrbMatrix":
+        return cls(coo)
+
+    @property
+    def shape(self):
+        return self._csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return self._csr.nnz
+
+    def to_coo(self) -> COOMatrix:
+        return self._csr.to_coo()
+
+    def to_dense(self) -> np.ndarray:
+        return self._csr.to_dense()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GrbMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    def equal(self, other: "GrbMatrix") -> bool:
+        return self.to_coo().equal(other.to_coo())
+
+    # -- core operations ---------------------------------------------------------
+    def mxm(
+        self,
+        other: "GrbMatrix",
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        mask: "GrbMatrix | None" = None,
+    ) -> "GrbMatrix":
+        """Matrix-matrix multiply under ``semiring`` with optional
+        structural mask on the output."""
+        return GrbMatrix(
+            self._csr.matmul(
+                other._csr, semiring, mask=None if mask is None else mask._csr
+            )
+        )
+
+    def mxv(
+        self,
+        vector: GrbVector,
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        mask: GrbVector | None = None,
+        mask_complement: bool = False,
+    ) -> GrbVector:
+        """``y = A ⊕.⊗ x`` for a sparse vector x."""
+        if vector.size != self.shape[1]:
+            raise ShapeError(
+                f"vector size {vector.size} does not match matrix {self.shape}"
+            )
+        # Treat x as an n x 1 CSR matrix and reuse the SpGEMM kernel.
+        x = COOMatrix(
+            (vector.size, 1),
+            vector.indices,
+            np.zeros(vector.nnz, dtype=INDEX_DTYPE),
+            vector.values,
+            _canonical=True,
+        ).to_csr()
+        out = self._csr.matmul(x, semiring).to_coo()
+        result = GrbVector(self.shape[0], out.rows, out.vals, _canonical=True)
+        if mask is not None:
+            result = result.select_mask(mask, complement=mask_complement)
+        return result
+
+    def vxm(
+        self,
+        vector: GrbVector,
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        mask: GrbVector | None = None,
+        mask_complement: bool = False,
+    ) -> GrbVector:
+        """``y = x ⊕.⊗ A`` (row vector times matrix)."""
+        return self.transpose().mxv(
+            vector, semiring, mask=mask, mask_complement=mask_complement
+        )
+
+    def ewise_add(self, other: "GrbMatrix", semiring: Semiring = PLUS_TIMES) -> "GrbMatrix":
+        return GrbMatrix(self._csr.ewise_add(other._csr, semiring))
+
+    def ewise_mult(self, other: "GrbMatrix", semiring: Semiring = PLUS_TIMES) -> "GrbMatrix":
+        return GrbMatrix(self._csr.ewise_mult(other._csr, semiring))
+
+    def transpose(self) -> "GrbMatrix":
+        return GrbMatrix(self._csr.transpose())
+
+    def kron(self, other: "GrbMatrix", semiring: Semiring = PLUS_TIMES) -> "GrbMatrix":
+        """Kronecker product — the generator's primitive, GrB style."""
+        from repro.kron.sparse_kron import kron as sparse_kron
+
+        return GrbMatrix(sparse_kron(self.to_coo(), other.to_coo(), semiring))
+
+    def extract(self, row_indices, col_indices) -> "GrbMatrix":
+        """Submatrix extraction (GrB_extract; the paper's Sᵀ(i) A S(j))."""
+        from repro.sparse.linalg import extract as sparse_extract
+
+        return GrbMatrix(sparse_extract(self.to_coo(), row_indices, col_indices))
+
+    def apply(self, fn: Callable[[np.ndarray], np.ndarray]) -> "GrbMatrix":
+        from repro.sparse.linalg import apply_values
+
+        return GrbMatrix(apply_values(self.to_coo(), fn))
+
+    def select(self, predicate) -> "GrbMatrix":
+        from repro.sparse.linalg import select_entries
+
+        return GrbMatrix(select_entries(self.to_coo(), predicate))
+
+    def reduce_rows(self, semiring: Semiring = PLUS_TIMES) -> GrbVector:
+        """Fold each row with the semiring add into a sparse vector."""
+        coo = self.to_coo()
+        if coo.nnz == 0:
+            return GrbVector.empty(self.shape[0], dtype=coo.dtype)
+        # Stored entries are row-sorted; reduce contiguous row segments.
+        boundaries = np.flatnonzero(np.diff(coo.rows)) + 1
+        starts = np.concatenate([[0], boundaries])
+        rows = coo.rows[starts]
+        reduceat = getattr(semiring.add, "reduceat", None)
+        if callable(reduceat):
+            vals = semiring.add.reduceat(coo.vals, starts)
+        else:  # generic fold
+            bounds = np.append(starts, coo.nnz)
+            vals = np.asarray(
+                [
+                    _fold(coo.vals[s:e], semiring)
+                    for s, e in zip(bounds[:-1], bounds[1:])
+                ],
+                dtype=coo.vals.dtype,
+            )
+        return GrbVector(self.shape[0], rows, vals, semiring=semiring)
+
+    def reduce_scalar(self, semiring: Semiring = PLUS_TIMES):
+        """Fold every stored value (the ``1ᵀ A 1`` of the paper)."""
+        coo = self.to_coo()
+        if coo.nnz == 0:
+            return semiring.zero
+        return semiring.add_reduce(coo.vals)
+
+
+def _fold(values: np.ndarray, semiring: Semiring):
+    acc = values[0]
+    for v in values[1:]:
+        acc = semiring.add(acc, v)
+    return acc

@@ -1,0 +1,26 @@
+"""On-disk formats: TSV edge lists (per-rank) and NPZ/JSON artifacts."""
+
+from repro.io.tsv import (
+    read_tsv_edges,
+    read_rank_files,
+    write_tsv_edges,
+    write_rank_files,
+)
+from repro.io.npz import load_design, load_matrix, save_design, save_matrix
+from repro.io.mtx import read_mtx, write_mtx
+from repro.io.graph500 import read_graph500_edges, write_graph500_edges
+
+__all__ = [
+    "write_mtx",
+    "read_mtx",
+    "write_graph500_edges",
+    "read_graph500_edges",
+    "write_tsv_edges",
+    "read_tsv_edges",
+    "write_rank_files",
+    "read_rank_files",
+    "save_matrix",
+    "load_matrix",
+    "save_design",
+    "load_design",
+]

@@ -1,0 +1,89 @@
+"""Binary artifacts: NPZ for realized matrices, JSON for designs.
+
+A design is pure metadata (star sizes + loop policy), so it serializes
+to a tiny JSON document; realized matrices store their triple arrays in
+NumPy's compressed container.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.design.star_design import PowerLawDesign
+from repro.errors import IOFormatError
+from repro.sparse.convert import AnySparse, as_coo
+from repro.sparse.coo import COOMatrix
+
+_FORMAT_VERSION = 1
+
+
+def save_matrix(path: str | Path, matrix: AnySparse) -> None:
+    """Write a sparse matrix to ``.npz``."""
+    coo = as_coo(matrix)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        shape=np.asarray(coo.shape, dtype=np.int64),
+        rows=coo.rows,
+        cols=coo.cols,
+        vals=coo.vals,
+    )
+
+
+def load_matrix(path: str | Path) -> COOMatrix:
+    """Read a sparse matrix saved by :func:`save_matrix`."""
+    with np.load(path) as data:
+        try:
+            version = int(data["version"])
+            shape = tuple(int(x) for x in data["shape"])
+            rows, cols, vals = data["rows"], data["cols"], data["vals"]
+        except KeyError as exc:
+            raise IOFormatError(f"{path}: missing field {exc}") from exc
+    if version != _FORMAT_VERSION:
+        raise IOFormatError(f"{path}: unsupported format version {version}")
+    return COOMatrix(shape, rows, cols, vals)
+
+
+def save_design(path: str | Path, design: PowerLawDesign) -> None:
+    """Write a design (and its exact headline properties) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "version": _FORMAT_VERSION,
+        "star_sizes": list(design.star_sizes),
+        "self_loop": design.self_loop.value,
+        # Informational echo of the exact properties (ints serialize fine).
+        "num_vertices": design.num_vertices,
+        "num_edges": design.num_edges,
+        "num_triangles": design.num_triangles,
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="ascii")
+
+
+def load_design(path: str | Path) -> PowerLawDesign:
+    """Read a design saved by :func:`save_design`, re-verifying the echoed
+    properties against the closed forms (a corrupted file fails loudly)."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="ascii"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IOFormatError(f"{path}: cannot parse design JSON: {exc}") from exc
+    try:
+        design = PowerLawDesign(doc["star_sizes"], doc["self_loop"])
+    except KeyError as exc:
+        raise IOFormatError(f"{path}: missing field {exc}") from exc
+    for key, value in (
+        ("num_vertices", design.num_vertices),
+        ("num_edges", design.num_edges),
+        ("num_triangles", design.num_triangles),
+    ):
+        if key in doc and doc[key] != value:
+            raise IOFormatError(
+                f"{path}: stored {key}={doc[key]} disagrees with the "
+                f"design's exact value {value}"
+            )
+    return design

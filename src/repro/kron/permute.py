@@ -1,0 +1,55 @@
+"""Component-grouping permutations (the Fig. 1 "P=" view).
+
+Weichsel's theorem: the Kronecker product of two connected bipartite
+graphs is disconnected — Fig. 1 shows the product of two stars splitting
+into two bipartite sub-graphs once rows/columns are permuted to group the
+components.  :func:`component_permutation` computes that permutation for
+any realized graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.convert import AnySparse, as_coo
+from repro.sparse.kernels import INDEX_DTYPE
+
+
+def connected_components(a: AnySparse) -> np.ndarray:
+    """Component label of every vertex (labels are 0..k-1, ordered by
+    smallest member vertex).
+
+    Treats the graph as undirected (an edge in either direction connects).
+    Vectorized label propagation: repeatedly pull the minimum label across
+    every edge until a fixed point — O(edges · diameter) work, loop count
+    bounded by the diameter, fine for the realized graphs this targets.
+    """
+    coo = as_coo(a)
+    if coo.shape[0] != coo.shape[1]:
+        raise ShapeError(f"adjacency matrix must be square, got {coo.shape}")
+    n = coo.shape[0]
+    labels = np.arange(n, dtype=INDEX_DTYPE)
+    rows = np.concatenate([coo.rows, coo.cols])
+    cols = np.concatenate([coo.cols, coo.rows])
+    while True:
+        pulled = labels.copy()
+        # pulled[r] = min(pulled[r], labels[c]) over all edges (r, c)
+        np.minimum.at(pulled, rows, labels[cols])
+        if np.array_equal(pulled, labels):
+            break
+        labels = pulled
+    # Renumber to dense 0..k-1 preserving order of first appearance.
+    _, dense = np.unique(labels, return_inverse=True)
+    return dense.astype(INDEX_DTYPE)
+
+
+def component_permutation(a: AnySparse) -> np.ndarray:
+    """Permutation grouping vertices by connected component.
+
+    Returns ``perm`` such that ``a.permuted(perm)`` is block-diagonal with
+    one block per component (vertices stably ordered inside each block).
+    ``perm[new_index] = old_index``.
+    """
+    labels = connected_components(a)
+    return np.argsort(labels, kind="stable").astype(INDEX_DTYPE)

@@ -1,0 +1,165 @@
+"""One-command reproduction evidence: ``python -m repro.paper``.
+
+Recomputes every exact count the paper quotes (Figures 1-7 and the
+Section-VI text) and prints a paper-vs-computed table with a verdict per
+row.  Runs in seconds on a laptop; the same values are asserted by the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.design import PowerLawDesign
+
+B_SIZES = [3, 4, 5, 9, 16, 25]
+C_SIZES = [81, 256]
+FIG5_SIZES = [3, 4, 5, 9, 16, 25, 81, 256, 625]
+FIG7_SIZES = [3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641]
+
+
+@dataclass(frozen=True)
+class Row:
+    label: str
+    paper_value: object
+    compute: Callable[[], object]
+    note: str = ""
+
+
+def rows() -> List[Row]:
+    return [
+        Row(
+            "Fig 1: degree distribution of (m̂=5)⊗(m̂=3)",
+            {1: 15, 3: 5, 5: 3, 15: 1},
+            lambda: PowerLawDesign([5, 3]).degree_distribution.to_dict(),
+        ),
+        Row(
+            "Fig 2 top: triangles w/ center loops",
+            15,
+            lambda: PowerLawDesign([5, 3], "center").num_triangles,
+        ),
+        Row(
+            "Fig 2 bottom: triangles w/ leaf loops",
+            1,
+            lambda: PowerLawDesign([5, 3], "leaf").num_triangles,
+            note="caption says 3; body text and exact computation give 1",
+        ),
+        Row(
+            "Fig 3: B vertices",
+            530_400,
+            lambda: PowerLawDesign(B_SIZES).num_vertices,
+            note="prose omits m̂=25; counts require it",
+        ),
+        Row("Fig 3: B edges", 13_824_000, lambda: PowerLawDesign(B_SIZES).num_edges),
+        Row("Fig 3: C vertices", 21_074, lambda: PowerLawDesign(C_SIZES).num_vertices),
+        Row("Fig 3: C edges", 82_944, lambda: PowerLawDesign(C_SIZES).num_edges),
+        Row(
+            "Fig 3: A vertices",
+            11_177_649_600,
+            lambda: PowerLawDesign(B_SIZES + C_SIZES).num_vertices,
+        ),
+        Row(
+            "Fig 3: A edges",
+            1_146_617_856_000,
+            lambda: PowerLawDesign(B_SIZES + C_SIZES).num_edges,
+        ),
+        Row(
+            "Fig 3: A triangles",
+            0,
+            lambda: PowerLawDesign(B_SIZES + C_SIZES).num_triangles,
+        ),
+        Row(
+            "Fig 4: B edges (center loops)",
+            22_160_060,
+            lambda: PowerLawDesign(B_SIZES, "center").num_edges,
+        ),
+        Row(
+            "Fig 4: C edges (center loops)",
+            83_618,
+            lambda: PowerLawDesign(C_SIZES, "center").num_edges,
+        ),
+        Row(
+            "Fig 4: A edges",
+            1_853_002_140_758,
+            lambda: PowerLawDesign(B_SIZES + C_SIZES, "center").num_edges,
+        ),
+        Row(
+            "Fig 4: A triangles",
+            6_777_007_252_427,
+            lambda: PowerLawDesign(B_SIZES + C_SIZES, "center").num_triangles,
+        ),
+        Row(
+            "Fig 5: vertices",
+            6_997_208_649_600,
+            lambda: PowerLawDesign(FIG5_SIZES).num_vertices,
+        ),
+        Row(
+            "Fig 5: edges",
+            1_433_272_320_000_000,
+            lambda: PowerLawDesign(FIG5_SIZES).num_edges,
+        ),
+        Row("Fig 5: triangles", 0, lambda: PowerLawDesign(FIG5_SIZES).num_triangles),
+        Row(
+            "Fig 6: edges",
+            2_318_105_678_089_508,
+            lambda: PowerLawDesign(FIG5_SIZES, "center").num_edges,
+        ),
+        Row(
+            "Fig 6: triangles",
+            12_720_651_636_552_426,
+            lambda: PowerLawDesign(FIG5_SIZES, "center").num_triangles,
+            note="paper value is a double-precision artifact (exceeds 2^53); exact is ...427",
+        ),
+        Row(
+            "Fig 7: vertices",
+            144_111_718_793_178_936_483_840_000,
+            lambda: PowerLawDesign(FIG7_SIZES, "leaf").num_vertices,
+        ),
+        Row(
+            "Fig 7: edges",
+            2_705_963_586_782_877_716_483_871_216_764,
+            lambda: PowerLawDesign(FIG7_SIZES, "leaf").num_edges,
+        ),
+        Row(
+            "Fig 7: triangles",
+            178_940_587,
+            lambda: PowerLawDesign(FIG7_SIZES, "leaf").num_triangles,
+        ),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    print("Reproduction evidence: Kepner et al., IPDPS-W 2018 (arXiv:1803.01281)")
+    print("computing every quoted count exactly...\n")
+    t0 = time.perf_counter()
+    mismatches = 0
+    expected_mismatches = 0
+    for row in rows():
+        computed = row.compute()
+        if computed == row.paper_value:
+            verdict = "EXACT"
+        elif row.note:
+            verdict = "DIFFERS (documented)"
+            expected_mismatches += 1
+        else:
+            verdict = "MISMATCH"
+            mismatches += 1
+        print(f"  [{verdict:<19}] {row.label}")
+        print(f"      paper   : {row.paper_value}")
+        print(f"      computed: {computed}")
+        if row.note:
+            print(f"      note    : {row.note}")
+    elapsed = time.perf_counter() - t0
+    print(
+        f"\n{len(rows())} quantities recomputed in {elapsed:.2f}s; "
+        f"{mismatches} unexplained mismatches, "
+        f"{expected_mismatches} documented paper errata."
+    )
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

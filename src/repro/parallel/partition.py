@@ -1,0 +1,171 @@
+"""Partitioning a Kronecker chain across ranks (paper Section V).
+
+Two decisions, both made here:
+
+1. **Where to split the chain** (:func:`choose_split`): ``A = B ⊗ C``
+   with ``B = A₁⊗...⊗A_k`` and ``C`` the rest, such that both halves'
+   materialized nnz fits the per-rank memory budget.
+2. **How to slice B over ranks** (:func:`partition_bc`): B's triples are
+   put in CSC order (sorted by column, then row) and divided into
+   ``n_ranks`` contiguous, near-equal slices.  Each rank rebases its
+   slice's column indices ("the minimum value of jp is subtracted from
+   jp") and will form ``Ap = Bp ⊗ C`` with no communication.
+
+Both the slice nnz balance and the disjoint-union property are exact and
+are re-checked by :mod:`repro.validate.structure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.kron.chain import KroneckerChain
+from repro.parallel.machine import VirtualCluster
+from repro.sparse.coo import COOMatrix
+
+
+def choose_split(chain: KroneckerChain, cluster: VirtualCluster) -> int:
+    """Pick the split index k for ``A = B ⊗ C`` under the memory budget.
+
+    Chooses the k that makes nnz(B) as large as possible (more triples to
+    spread over ranks → finer balance) while both nnz(B) and nnz(C) stay
+    within ``cluster.memory_entries``.  Additionally requires
+    ``nnz(B) >= n_ranks`` so every rank receives at least one triple.
+    """
+    if chain.num_factors < 2:
+        raise PartitionError("need at least two factors to split B ⊗ C")
+    budget = cluster.memory_entries
+    nnzs = [m.nnz for m in chain.factors]
+    best_k = None
+    best_bnnz = -1
+    prefix = 1
+    total = 1
+    for v in nnzs:
+        total *= v
+    for k in range(1, chain.num_factors):
+        prefix *= nnzs[k - 1]
+        suffix = total // prefix
+        if prefix <= budget and suffix <= budget and prefix >= cluster.n_ranks:
+            if prefix > best_bnnz:
+                best_bnnz = prefix
+                best_k = k
+    if best_k is None:
+        raise PartitionError(
+            f"no split of factor nnzs {nnzs} fits budget "
+            f"{budget:,} entries with {cluster.n_ranks} ranks"
+        )
+    return best_k
+
+
+@dataclass(frozen=True)
+class RankAssignment:
+    """One rank's share of B.
+
+    Attributes
+    ----------
+    rank:
+        Rank id.
+    b_local:
+        The rebased local matrix ``Bp`` (columns start at 0).
+    col_base:
+        Minimum original column index of the slice; global column of a
+        local entry is ``local_col + col_base``.
+    triple_range:
+        (start, stop) into B's CSC-ordered triple list — provenance for
+        audits.
+    """
+
+    rank: int
+    b_local: COOMatrix
+    col_base: int
+    triple_range: Tuple[int, int]
+
+    @property
+    def nnz(self) -> int:
+        return self.b_local.nnz
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The full B/C decomposition: split point, halves, rank assignments."""
+
+    split_index: int
+    b_chain: KroneckerChain
+    c_chain: KroneckerChain
+    assignments: Tuple[RankAssignment, ...]
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.assignments)
+
+    def balance(self) -> Tuple[int, int]:
+        """(min, max) triples per rank — differ by at most 1 by design."""
+        counts = [a.nnz for a in self.assignments]
+        return min(counts), max(counts)
+
+
+def partition_b_triples(b: COOMatrix, n_ranks: int) -> List[RankAssignment]:
+    """Slice B's CSC-ordered triples into near-equal contiguous runs.
+
+    Every rank receives ``floor(nnz/Np)`` or ``ceil(nnz/Np)`` triples
+    (the paper's equal-nnz property, exact when Np divides nnz).
+    """
+    if n_ranks < 1:
+        raise PartitionError(f"need at least one rank, got {n_ranks}")
+    if b.nnz < n_ranks:
+        raise PartitionError(
+            f"B has only {b.nnz} triples for {n_ranks} ranks; "
+            "choose a later split point"
+        )
+    # CSC order: by column, then row.
+    order = np.lexsort((b.rows, b.cols))
+    rows = b.rows[order]
+    cols = b.cols[order]
+    vals = b.vals[order]
+    # Near-equal contiguous ranges.
+    bounds = np.linspace(0, b.nnz, n_ranks + 1).astype(np.int64)
+    out: List[RankAssignment] = []
+    for rank in range(n_ranks):
+        s, e = int(bounds[rank]), int(bounds[rank + 1])
+        r_slice = rows[s:e]
+        c_slice = cols[s:e]
+        v_slice = vals[s:e]
+        col_base = int(c_slice.min())
+        width = int(c_slice.max()) - col_base + 1
+        local = COOMatrix(
+            (b.shape[0], width), r_slice, c_slice - col_base, v_slice
+        )
+        out.append(
+            RankAssignment(
+                rank=rank, b_local=local, col_base=col_base, triple_range=(s, e)
+            )
+        )
+    return out
+
+
+def partition_bc(
+    chain: KroneckerChain,
+    cluster: VirtualCluster,
+    *,
+    split_index: int | None = None,
+) -> PartitionPlan:
+    """Build the complete partition plan for ``chain`` on ``cluster``."""
+    k = split_index if split_index is not None else choose_split(chain, cluster)
+    b_chain, c_chain = chain.split(k)
+    if b_chain.nnz > cluster.memory_entries or c_chain.nnz > cluster.memory_entries:
+        raise PartitionError(
+            f"split at {k} gives nnz(B)={b_chain.nnz:,}, nnz(C)={c_chain.nnz:,}; "
+            f"budget is {cluster.memory_entries:,} entries per rank"
+        )
+    b = b_chain.materialize()
+    assignments = partition_b_triples(b, cluster.n_ranks)
+    return PartitionPlan(
+        split_index=k,
+        b_chain=b_chain,
+        c_chain=c_chain,
+        assignments=tuple(assignments),
+    )

@@ -1,0 +1,163 @@
+"""Full-curve Fig.-3 simulation from real per-rank workloads.
+
+For each requested core count ``Np``, this module partitions the *actual*
+target graph (e.g. the paper's trillion-edge design), generates ONE real
+rank block at that ``Np``, times the kernel, and reports the aggregate
+rate a zero-communication machine with ``Np`` such cores would achieve.
+Unlike a scaled-down sweep, every timed workload is the true per-rank
+workload of the corresponding cluster size — only the *replication*
+across ranks is simulated, justified by the disjointness/balance
+invariants the validators check.
+
+Points whose single block exceeds the memory budget are skipped with an
+explicit reason (never silently).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.design.star_design import PowerLawDesign
+from repro.errors import PartitionError
+from repro.kron.sparse_kron import kron
+from repro.parallel.partition import partition_b_triples
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One simulated point of the rate-vs-cores curve."""
+
+    cores: int
+    per_rank_edges: int
+    per_rank_seconds: float
+    aggregate_edges_per_s: float
+    measured: bool
+    skip_reason: str = ""
+
+    def to_text(self) -> str:
+        if not self.measured:
+            return f"{self.cores:>8,} cores: skipped ({self.skip_reason})"
+        return (
+            f"{self.cores:>8,} cores: {self.per_rank_edges:,} edges/rank in "
+            f"{self.per_rank_seconds:.3f}s -> {self.aggregate_edges_per_s:.3e} "
+            f"edges/s (simulated)"
+        )
+
+
+@dataclass(frozen=True)
+class SimulatedCurve:
+    """The Fig.-3-style curve for one design."""
+
+    design_sizes: tuple
+    points: tuple
+
+    def measured_points(self) -> List[CurvePoint]:
+        return [p for p in self.points if p.measured]
+
+    def peak_rate(self) -> float:
+        measured = self.measured_points()
+        if not measured:
+            raise PartitionError("no core count was measurable under the budget")
+        return max(p.aggregate_edges_per_s for p in measured)
+
+    def to_text(self) -> str:
+        return "\n".join(p.to_text() for p in self.points)
+
+
+def simulate_rate_curve(
+    design: PowerLawDesign,
+    core_counts: Sequence[int],
+    *,
+    split_index: int | None = None,
+    max_block_entries: int = 40_000_000,
+    repeats: int = 1,
+) -> SimulatedCurve:
+    """Measure the true rank-0 workload of ``design`` at each core count.
+
+    ``split_index`` defaults to the last factor boundary that keeps C
+    materializable; the same B/C split is used at every core count (as
+    in the paper, where B and C are fixed and only Np varies).
+    """
+    chain = design.to_chain()
+    nnzs = [f.nnz for f in chain.factors]
+    if split_index is None:
+        # Largest-B split with both halves under the budget (more B
+        # triples -> finer, more representative rank slicing).
+        prefix = 1
+        total = 1
+        for v in nnzs:
+            total *= v
+        best_k = None
+        best_prefix = -1
+        for k in range(1, chain.num_factors):
+            prefix *= nnzs[k - 1]
+            suffix = total // prefix
+            if suffix <= max_block_entries and prefix <= max_block_entries:
+                if prefix > best_prefix:
+                    best_prefix = prefix
+                    best_k = k
+        if best_k is None:
+            raise PartitionError(
+                f"no split of factor nnzs {nnzs} keeps both halves under "
+                f"{max_block_entries:,} entries"
+            )
+        split_index = best_k
+    b_chain, c_chain = chain.split(split_index)
+    if b_chain.nnz > max_block_entries:
+        raise PartitionError(
+            f"B half has {b_chain.nnz:,} entries, above the "
+            f"{max_block_entries:,} budget"
+        )
+    b = b_chain.materialize()
+    c = c_chain.materialize()
+    points: List[CurvePoint] = []
+    for cores in core_counts:
+        cores = int(cores)
+        if cores < 1 or cores > b.nnz:
+            points.append(
+                CurvePoint(
+                    cores=cores,
+                    per_rank_edges=0,
+                    per_rank_seconds=0.0,
+                    aggregate_edges_per_s=0.0,
+                    measured=False,
+                    skip_reason=f"need 1 <= cores <= nnz(B)={b.nnz:,}",
+                )
+            )
+            continue
+        assignment = partition_b_triples(b, cores)[0]
+        block_entries = assignment.nnz * c.nnz
+        if block_entries > max_block_entries:
+            points.append(
+                CurvePoint(
+                    cores=cores,
+                    per_rank_edges=block_entries,
+                    per_rank_seconds=0.0,
+                    aggregate_edges_per_s=0.0,
+                    measured=False,
+                    skip_reason=(
+                        f"rank block of {block_entries:,} entries exceeds "
+                        f"budget {max_block_entries:,}"
+                    ),
+                )
+            )
+            continue
+        best = float("inf")
+        produced = 0
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            block = kron(assignment.b_local, c)
+            best = min(best, time.perf_counter() - t0)
+            produced = block.nnz
+        points.append(
+            CurvePoint(
+                cores=cores,
+                per_rank_edges=produced,
+                per_rank_seconds=best,
+                aggregate_edges_per_s=cores * produced / best,
+                measured=True,
+            )
+        )
+    return SimulatedCurve(design_sizes=tuple(design.star_sizes), points=tuple(points))

@@ -1,0 +1,41 @@
+"""Semiring algebra underpinning the Kronecker graph machinery.
+
+The paper (Section II) notes that the Kronecker product keeps its algebraic
+properties (associativity, distributivity, the mixed-product identity) for
+any element-wise multiply that behaves like a semiring multiplication with
+``0`` as annihilator.  This package provides:
+
+* :class:`~repro.semiring.base.Semiring` — a small, explicit semiring
+  description (add, multiply, identities) with self-checks,
+* standard instances (:data:`PLUS_TIMES`, :data:`BOOL_OR_AND`,
+  :data:`MIN_PLUS`, :data:`MAX_PLUS`, :data:`MAX_MIN`),
+* dense semiring operations (:func:`mxm`, :func:`ewise_add`,
+  :func:`ewise_mult`, :func:`kron_dense`, :func:`reduce_all`).
+"""
+
+from repro.semiring.base import Semiring, get_semiring, list_semirings, register_semiring
+from repro.semiring.standard import (
+    BOOL_OR_AND,
+    MAX_MIN,
+    MAX_PLUS,
+    MIN_PLUS,
+    PLUS_TIMES,
+)
+from repro.semiring.ops import ewise_add, ewise_mult, kron_dense, mxm, reduce_all
+
+__all__ = [
+    "Semiring",
+    "register_semiring",
+    "get_semiring",
+    "list_semirings",
+    "PLUS_TIMES",
+    "BOOL_OR_AND",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "MAX_MIN",
+    "mxm",
+    "ewise_add",
+    "ewise_mult",
+    "kron_dense",
+    "reduce_all",
+]

@@ -1,0 +1,80 @@
+"""Dense semiring operations.
+
+These operate on plain ``np.ndarray`` values.  The sparse equivalents live
+in :mod:`repro.sparse`; the dense versions here serve three roles:
+
+* reference implementations the sparse kernels are tested against,
+* the workhorse for *constituent* matrices, which are tiny by design,
+* demonstration that the paper's identities hold over general semirings.
+
+Performance notes (per the HPC guides): the generic ``mxm`` broadcasts an
+``(n, k, 1) x (1, k, m)`` product and reduces, trading memory for
+vectorization — fine for the small constituent matrices it targets.  For
+``PLUS_TIMES`` we fast-path to ``@``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.semiring.base import Semiring
+from repro.semiring.standard import PLUS_TIMES
+
+
+def _as2d(a: np.ndarray, what: str) -> np.ndarray:
+    arr = np.asarray(a)
+    if arr.ndim != 2:
+        raise ShapeError(f"{what} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def mxm(a: np.ndarray, b: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+    """Semiring matrix multiply ``C(i,j) = add.k mul(A(i,k), B(k,j))``."""
+    a = _as2d(a, "a")
+    b = _as2d(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if semiring is PLUS_TIMES:
+        return a @ b
+    # outer[i, k, j] = mul(a[i, k], b[k, j])
+    outer = semiring.mul(a[:, :, None], b[None, :, :])
+    return semiring.add_reduce(outer, axis=1)
+
+
+def ewise_add(a: np.ndarray, b: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+    """Element-wise semiring addition (graph union / combination)."""
+    a = _as2d(a, "a")
+    b = _as2d(b, "b")
+    if a.shape != b.shape:
+        raise ShapeError(f"shapes differ: {a.shape} vs {b.shape}")
+    return semiring.add(a, b)
+
+
+def ewise_mult(a: np.ndarray, b: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+    """Element-wise semiring multiplication (graph intersection)."""
+    a = _as2d(a, "a")
+    b = _as2d(b, "b")
+    if a.shape != b.shape:
+        raise ShapeError(f"shapes differ: {a.shape} vs {b.shape}")
+    return semiring.mul(a, b)
+
+
+def kron_dense(a: np.ndarray, b: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+    """Dense Kronecker product under ``semiring``'s multiply.
+
+    ``C((ia-1)·mB+ib, (ja-1)·mB+jb) = mul(A(ia, ja), B(ib, jb))`` — the
+    paper's Section II definition, with 0-based indexing.
+    """
+    a = _as2d(a, "a")
+    b = _as2d(b, "b")
+    na, ma = a.shape
+    nb, mb = b.shape
+    # blocks[ia, ib, ja, jb] = mul(a[ia, ja], b[ib, jb])
+    blocks = semiring.mul(a[:, None, :, None], b[None, :, None, :])
+    return blocks.reshape(na * nb, ma * mb)
+
+
+def reduce_all(a: np.ndarray, semiring: Semiring = PLUS_TIMES):
+    """Reduce every entry of ``a`` with the semiring add (``1ᵀ A 1``)."""
+    return semiring.add_reduce(np.asarray(a), axis=None)

@@ -1,0 +1,74 @@
+"""Standard semiring instances.
+
+These mirror the classic GraphBLAS set.  ``PLUS_TIMES`` is ordinary
+arithmetic and is the default everywhere.  The tropical semirings use
+``np.inf`` / ``-np.inf`` identities, so they only make sense over float
+dtypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semiring.base import Semiring, register_semiring
+
+#: Ordinary arithmetic: (+, *, 0, 1).  The default for graph generation;
+#: over adjacency matrices, matmul counts paths and kron builds products.
+PLUS_TIMES = register_semiring(
+    Semiring(
+        name="plus_times",
+        add=np.add,
+        mul=np.multiply,
+        zero=0,
+        one=1,
+        dtype=np.dtype(np.int64),
+    )
+)
+
+#: Boolean algebra: (or, and, False, True).  Structural graph operations.
+BOOL_OR_AND = register_semiring(
+    Semiring(
+        name="bool_or_and",
+        add=np.logical_or,
+        mul=np.logical_and,
+        zero=False,
+        one=True,
+        dtype=np.dtype(bool),
+    )
+)
+
+#: Tropical min-plus: (min, +, inf, 0).  Shortest paths.
+MIN_PLUS = register_semiring(
+    Semiring(
+        name="min_plus",
+        add=np.minimum,
+        mul=np.add,
+        zero=np.inf,
+        one=0.0,
+        dtype=np.dtype(np.float64),
+    )
+)
+
+#: Tropical max-plus: (max, +, -inf, 0).  Longest/critical paths.
+MAX_PLUS = register_semiring(
+    Semiring(
+        name="max_plus",
+        add=np.maximum,
+        mul=np.add,
+        zero=-np.inf,
+        one=0.0,
+        dtype=np.dtype(np.float64),
+    )
+)
+
+#: Bottleneck max-min: (max, min, -inf, inf).  Widest paths.
+MAX_MIN = register_semiring(
+    Semiring(
+        name="max_min",
+        add=np.maximum,
+        mul=np.minimum,
+        zero=-np.inf,
+        one=np.inf,
+        dtype=np.dtype(np.float64),
+    )
+)

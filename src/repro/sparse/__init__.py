@@ -1,0 +1,74 @@
+"""From-scratch sparse matrix substrate.
+
+The paper's generator is built on sparse adjacency matrices (pMATLAB /
+D4M style).  This package implements that substrate directly on NumPy:
+
+* :class:`~repro.sparse.coo.COOMatrix` — canonical triples (sorted,
+  coalesced); the exchange format used by the Kronecker and parallel code,
+* :class:`~repro.sparse.csr.CSRMatrix` — compressed sparse row with a
+  vectorized SpGEMM, transpose, and element-wise kernels,
+* :class:`~repro.sparse.csc.CSCMatrix` — compressed sparse column (the
+  layout the paper's Section V partitioner reasons about),
+* constructors (:mod:`repro.sparse.construct`) and conversions
+  (:mod:`repro.sparse.convert`),
+* reductions and degree helpers (:mod:`repro.sparse.linalg`).
+
+SciPy is never imported by library code; tests use it as an independent
+oracle for the kernels.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.construct import (
+    eye,
+    from_dense,
+    from_edges,
+    from_triples,
+    random_sparse,
+    zeros,
+)
+from repro.sparse.convert import to_dense
+from repro.sparse.linalg import (
+    apply_values,
+    extract,
+    matrix_power,
+    selection_matrix,
+    col_degrees,
+    degrees,
+    matvec,
+    nnz_per_row,
+    row_degrees,
+    select_entries,
+    total_sum,
+    trace,
+    tril,
+    triu,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "from_triples",
+    "from_edges",
+    "from_dense",
+    "eye",
+    "zeros",
+    "random_sparse",
+    "to_dense",
+    "row_degrees",
+    "col_degrees",
+    "degrees",
+    "nnz_per_row",
+    "total_sum",
+    "trace",
+    "tril",
+    "triu",
+    "apply_values",
+    "select_entries",
+    "matvec",
+    "matrix_power",
+    "extract",
+    "selection_matrix",
+]

@@ -1,0 +1,116 @@
+"""Sparse matrix constructors."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.semiring.base import Semiring
+from repro.semiring.standard import PLUS_TIMES
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels import INDEX_DTYPE
+
+
+def from_triples(
+    shape: Tuple[int, int],
+    rows: Sequence[int],
+    cols: Sequence[int],
+    vals: Sequence | None = None,
+    *,
+    dtype=np.int64,
+    semiring: Semiring = PLUS_TIMES,
+) -> COOMatrix:
+    """Build a canonical COO matrix from triples.
+
+    If ``vals`` is omitted every listed entry gets value 1 (pattern
+    matrix), duplicates combining under the semiring add.
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    cols = np.asarray(cols, dtype=INDEX_DTYPE)
+    if vals is None:
+        vals = np.ones(len(rows), dtype=dtype)
+    else:
+        vals = np.asarray(vals, dtype=dtype)
+    return COOMatrix(shape, rows, cols, vals, semiring=semiring)
+
+
+def from_edges(
+    n_vertices: int,
+    edges: Sequence[Tuple[int, int]],
+    *,
+    undirected: bool = True,
+    dtype=np.int64,
+) -> COOMatrix:
+    """Adjacency matrix from an edge list.
+
+    With ``undirected=True`` each (i, j) edge also stores (j, i); a
+    self-loop is stored once.  Duplicate edges coalesce to value 1 (the
+    result is a 0/1 pattern, as for the paper's adjacency matrices).
+    """
+    if len(edges) == 0:
+        e = np.empty((0, 2), dtype=INDEX_DTYPE)
+    else:
+        e = np.asarray(edges, dtype=INDEX_DTYPE)
+        if e.ndim != 2 or e.shape[1] != 2:
+            raise ShapeError("edges must be a sequence of (i, j) pairs")
+    rows, cols = e[:, 0], e[:, 1]
+    if undirected:
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, e[:, 0][off]])
+    vals = np.ones(len(rows), dtype=dtype)
+    m = COOMatrix((n_vertices, n_vertices), rows, cols, vals)
+    # Clamp multi-edges to pattern value 1.
+    if m.nnz and (m.vals > 1).any():
+        m = COOMatrix((n_vertices, n_vertices), m.rows, m.cols, np.minimum(m.vals, 1), _canonical=True)
+    return m
+
+
+def from_dense(a: np.ndarray, *, semiring: Semiring = PLUS_TIMES) -> COOMatrix:
+    """Sparse matrix holding the entries of ``a`` not equal to the zero."""
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ShapeError(f"expected 2-D array, got shape {a.shape}")
+    mask = a != semiring.zero
+    rows, cols = np.nonzero(mask)
+    return COOMatrix(a.shape, rows.astype(INDEX_DTYPE), cols.astype(INDEX_DTYPE), a[mask], _canonical=True)
+
+
+def eye(n: int, *, dtype=np.int64) -> COOMatrix:
+    """The n x n identity pattern."""
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    return COOMatrix((n, n), idx, idx.copy(), np.ones(n, dtype=dtype), _canonical=True)
+
+
+def zeros(shape: Tuple[int, int], *, dtype=np.int64) -> COOMatrix:
+    """An empty sparse matrix of the given shape."""
+    e = np.empty(0, dtype=INDEX_DTYPE)
+    return COOMatrix(shape, e, e.copy(), np.empty(0, dtype=dtype), _canonical=True)
+
+
+def random_sparse(
+    shape: Tuple[int, int],
+    density: float,
+    *,
+    rng: np.random.Generator | None = None,
+    dtype=np.int64,
+) -> COOMatrix:
+    """Uniform random 0/1 sparse matrix with ~``density`` fill fraction.
+
+    Used by tests and the ablation benches; not part of the paper's
+    generator (which is deterministic by design).
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = rng or np.random.default_rng()
+    n, m = shape
+    count = int(round(density * n * m))
+    count = min(count, n * m)
+    if count == 0:
+        return zeros(shape, dtype=dtype)
+    flat = rng.choice(n * m, size=count, replace=False)
+    rows = (flat // m).astype(INDEX_DTYPE)
+    cols = (flat % m).astype(INDEX_DTYPE)
+    return COOMatrix(shape, rows, cols, np.ones(count, dtype=dtype))

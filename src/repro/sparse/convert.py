@@ -1,0 +1,50 @@
+"""Conversions between sparse formats, dense arrays, and (optionally) SciPy.
+
+SciPy interop is provided for users who want it but is imported lazily,
+keeping :mod:`repro` dependency-free beyond NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+AnySparse = COOMatrix | CSRMatrix | CSCMatrix
+
+
+def to_dense(m: AnySparse | np.ndarray) -> np.ndarray:
+    """Materialize any library sparse matrix (or pass through an ndarray)."""
+    if isinstance(m, np.ndarray):
+        return m
+    return m.to_dense()
+
+
+def as_coo(m: AnySparse | np.ndarray) -> COOMatrix:
+    """Coerce any supported matrix type to canonical COO."""
+    if isinstance(m, COOMatrix):
+        return m
+    if isinstance(m, (CSRMatrix, CSCMatrix)):
+        return m.to_coo()
+    if isinstance(m, np.ndarray):
+        from repro.sparse.construct import from_dense
+
+        return from_dense(m)
+    raise FormatError(f"cannot interpret {type(m).__name__} as a sparse matrix")
+
+
+def to_scipy(m: AnySparse):
+    """Convert to a ``scipy.sparse.coo_matrix`` (requires SciPy)."""
+    import scipy.sparse as sp
+
+    coo = as_coo(m)
+    return sp.coo_matrix((coo.vals, (coo.rows, coo.cols)), shape=coo.shape)
+
+
+def from_scipy(m) -> COOMatrix:
+    """Convert any ``scipy.sparse`` matrix to canonical COO."""
+    coo = m.tocoo()
+    return COOMatrix(coo.shape, coo.row, coo.col, coo.data)

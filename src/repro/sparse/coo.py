@@ -1,0 +1,278 @@
+"""Canonical COO (triples) sparse matrix.
+
+COO is the library's exchange format: the sparse Kronecker product, the
+parallel partitioner, and the I/O layer all speak triples.  A
+:class:`COOMatrix` is always *canonical*: triples sorted by (row, col),
+no duplicates, no stored zeros.  Constructors enforce this, so every
+downstream kernel may assume it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.semiring.base import Semiring
+from repro.semiring.standard import PLUS_TIMES
+from repro.sparse import kernels
+from repro.sparse.kernels import INDEX_DTYPE
+
+
+class COOMatrix:
+    """An immutable, canonical sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    shape:
+        (n_rows, n_cols).
+    rows, cols, vals:
+        Parallel arrays of stored entries.  They are coalesced (duplicates
+        combined with ``semiring.add``) and zero-dropped on construction
+        unless ``_canonical=True`` promises they already are.
+    """
+
+    __slots__ = ("shape", "rows", "cols", "vals")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        *,
+        semiring: Semiring = PLUS_TIMES,
+        _canonical: bool = False,
+    ) -> None:
+        n, m = int(shape[0]), int(shape[1])
+        if n < 0 or m < 0:
+            raise ShapeError(f"negative shape {shape}")
+        rows = np.asarray(rows, dtype=INDEX_DTYPE)
+        cols = np.asarray(cols, dtype=INDEX_DTYPE)
+        vals = np.asarray(vals)
+        if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+            raise ShapeError("rows, cols, vals must be equal-length 1-D arrays")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n:
+                raise FormatError(f"row index out of range for shape {shape}")
+            if cols.min() < 0 or cols.max() >= m:
+                raise FormatError(f"col index out of range for shape {shape}")
+        if not _canonical:
+            rows, cols, vals = kernels.coalesce(rows, cols, vals, semiring)
+        self.shape = (n, m)
+        self.rows = rows
+        self.cols = cols
+        self.vals = vals
+
+    # -- basic properties ------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (== nonzeros, by canonicality)."""
+        return len(self.vals)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.vals.dtype
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def is_square(self) -> bool:
+        return self.shape[0] == self.shape[1]
+
+    def triples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The (rows, cols, vals) arrays.  Do not mutate."""
+        return self.rows, self.cols, self.vals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"
+
+    def __iter__(self) -> Iterator[Tuple[int, int, object]]:
+        for r, c, v in zip(self.rows, self.cols, self.vals):
+            yield int(r), int(c), v.item() if hasattr(v, "item") else v
+
+    # -- element access ---------------------------------------------------
+    def get(self, i: int, j: int, default=0):
+        """Value at (i, j), or ``default`` if not stored."""
+        if not (0 <= i < self.shape[0] and 0 <= j < self.shape[1]):
+            raise IndexError(f"({i}, {j}) out of range for shape {self.shape}")
+        key = i * self.shape[1] + j
+        keys = self.rows * self.shape[1] + self.cols
+        pos = np.searchsorted(keys, key)
+        if pos < len(keys) and keys[pos] == key:
+            v = self.vals[pos]
+            return v.item() if hasattr(v, "item") else v
+        return default
+
+    def with_entry(self, i: int, j: int, value) -> "COOMatrix":
+        """A copy with entry (i, j) set to ``value`` (0 removes it)."""
+        if not (0 <= i < self.shape[0] and 0 <= j < self.shape[1]):
+            raise IndexError(f"({i}, {j}) out of range for shape {self.shape}")
+        keys = self.rows * self.shape[1] + self.cols
+        key = i * self.shape[1] + j
+        pos = int(np.searchsorted(keys, key))
+        present = pos < len(keys) and keys[pos] == key
+        if value == 0:
+            if not present:
+                return self
+            sel = np.ones(self.nnz, dtype=bool)
+            sel[pos] = False
+            return COOMatrix(
+                self.shape, self.rows[sel], self.cols[sel], self.vals[sel], _canonical=True
+            )
+        if present:
+            vals = self.vals.copy()
+            vals[pos] = value
+            return COOMatrix(self.shape, self.rows, self.cols, vals, _canonical=True)
+        rows = np.insert(self.rows, pos, i)
+        cols = np.insert(self.cols, pos, j)
+        vals = np.insert(self.vals, pos, value)
+        return COOMatrix(self.shape, rows, cols, vals, _canonical=True)
+
+    def without_self_loop(self, i: int) -> "COOMatrix":
+        """A copy with any (i, i) entry removed (the paper's loop removal)."""
+        return self.with_entry(i, i, 0)
+
+    # -- conversions -------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array (small matrices only)."""
+        out = np.zeros(self.shape, dtype=self.dtype)
+        out[self.rows, self.cols] = self.vals
+        return out
+
+    def to_csr(self):
+        """Convert to :class:`~repro.sparse.csr.CSRMatrix` (shares values)."""
+        from repro.sparse.csr import CSRMatrix
+
+        indptr = kernels.build_indptr(self.rows, self.shape[0])
+        return CSRMatrix(self.shape, indptr, self.cols, self.vals, _validated=True)
+
+    def to_csc(self):
+        """Convert to :class:`~repro.sparse.csc.CSCMatrix`."""
+        from repro.sparse.csc import CSCMatrix
+
+        order = np.lexsort((self.rows, self.cols))
+        indptr = kernels.build_indptr(self.cols[order], self.shape[1])
+        return CSCMatrix(self.shape, indptr, self.rows[order], self.vals[order], _validated=True)
+
+    # -- algebra ------------------------------------------------------------
+    def transpose(self) -> "COOMatrix":
+        """The transpose (canonical form restored by re-sorting)."""
+        order = np.lexsort((self.rows, self.cols))
+        return COOMatrix(
+            (self.shape[1], self.shape[0]),
+            self.cols[order],
+            self.rows[order],
+            self.vals[order],
+            _canonical=True,
+        )
+
+    @property
+    def T(self) -> "COOMatrix":
+        return self.transpose()
+
+    def matmul(self, other: "COOMatrix", semiring: Semiring = PLUS_TIMES) -> "COOMatrix":
+        """Semiring matrix product ``self @ other``."""
+        return (self.to_csr().matmul(other.to_csr(), semiring)).to_coo()
+
+    def __matmul__(self, other: "COOMatrix") -> "COOMatrix":
+        return self.matmul(other)
+
+    def ewise_add(self, other: "COOMatrix", semiring: Semiring = PLUS_TIMES) -> "COOMatrix":
+        """Element-wise semiring add (union of structures)."""
+        self._check_same_shape(other)
+        r, c, v = kernels.ewise_triples(
+            self.shape, self.triples(), other.triples(), semiring.add, union=True, semiring=semiring
+        )
+        return COOMatrix(self.shape, r, c, v, _canonical=True)
+
+    def ewise_mult(self, other: "COOMatrix", semiring: Semiring = PLUS_TIMES) -> "COOMatrix":
+        """Element-wise semiring multiply (intersection of structures)."""
+        self._check_same_shape(other)
+        r, c, v = kernels.ewise_triples(
+            self.shape, self.triples(), other.triples(), semiring.mul, union=False, semiring=semiring
+        )
+        return COOMatrix(self.shape, r, c, v, _canonical=True)
+
+    def __add__(self, other: "COOMatrix") -> "COOMatrix":
+        return self.ewise_add(other)
+
+    def __mul__(self, other: "COOMatrix") -> "COOMatrix":
+        return self.ewise_mult(other)
+
+    def scale(self, scalar) -> "COOMatrix":
+        """Multiply every stored value by ``scalar``."""
+        if scalar == 0:
+            return COOMatrix(self.shape, *(np.empty(0, dtype=INDEX_DTYPE),) * 2, np.empty(0, dtype=self.dtype), _canonical=True)
+        return COOMatrix(self.shape, self.rows, self.cols, self.vals * scalar, _canonical=True)
+
+    # -- reductions ----------------------------------------------------------
+    def sum(self):
+        """Sum of all stored values as a Python scalar (exact for ints)."""
+        if self.nnz == 0:
+            return 0
+        if np.issubdtype(self.dtype, np.integer):
+            return int(sum(int(v) for v in self.vals)) if self.nnz < 1024 else int(self.vals.sum(dtype=object))
+        return self.vals.sum().item()
+
+    def row_sums(self) -> np.ndarray:
+        """Vector of per-row value sums."""
+        return np.bincount(self.rows, weights=self.vals.astype(np.float64), minlength=self.shape[0])
+
+    def row_nnz(self) -> np.ndarray:
+        """Vector of per-row stored-entry counts."""
+        return np.bincount(self.rows, minlength=self.shape[0]).astype(INDEX_DTYPE)
+
+    def col_nnz(self) -> np.ndarray:
+        """Vector of per-column stored-entry counts."""
+        return np.bincount(self.cols, minlength=self.shape[1]).astype(INDEX_DTYPE)
+
+    def diagonal_nnz(self) -> int:
+        """Number of stored diagonal entries (self-loops)."""
+        return int(np.count_nonzero(self.rows == self.cols))
+
+    # -- structure -------------------------------------------------------------
+    def is_symmetric(self) -> bool:
+        """True if the matrix equals its transpose (pattern and values)."""
+        if self.shape[0] != self.shape[1]:
+            return False
+        return self.equal(self.transpose())
+
+    def equal(self, other: "COOMatrix") -> bool:
+        """Exact equality of shape, pattern, and values."""
+        return (
+            self.shape == other.shape
+            and self.nnz == other.nnz
+            and bool(np.array_equal(self.rows, other.rows))
+            and bool(np.array_equal(self.cols, other.cols))
+            and bool(np.array_equal(self.vals, other.vals))
+        )
+
+    def permuted(self, row_perm: np.ndarray, col_perm: np.ndarray | None = None) -> "COOMatrix":
+        """Apply vertex relabelings: new[i, j] = old[row_perm[i], col_perm[j]].
+
+        ``row_perm`` maps *new* index -> *old* index (a permutation array).
+        For a graph, pass the same permutation for rows and columns.
+        """
+        if col_perm is None:
+            col_perm = row_perm
+        row_perm = np.asarray(row_perm, dtype=INDEX_DTYPE)
+        col_perm = np.asarray(col_perm, dtype=INDEX_DTYPE)
+        if len(row_perm) != self.shape[0] or len(col_perm) != self.shape[1]:
+            raise ShapeError("permutation length must match matrix shape")
+        inv_r = np.empty_like(row_perm)
+        inv_r[row_perm] = np.arange(len(row_perm), dtype=INDEX_DTYPE)
+        inv_c = np.empty_like(col_perm)
+        inv_c[col_perm] = np.arange(len(col_perm), dtype=INDEX_DTYPE)
+        return COOMatrix(self.shape, inv_r[self.rows], inv_c[self.cols], self.vals.copy())
+
+    def _check_same_shape(self, other: "COOMatrix") -> None:
+        if self.shape != other.shape:
+            raise ShapeError(f"shapes differ: {self.shape} vs {other.shape}")

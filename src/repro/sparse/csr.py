@@ -1,0 +1,154 @@
+"""Compressed sparse row matrix with vectorized kernels."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.semiring.base import Semiring
+from repro.semiring.standard import PLUS_TIMES
+from repro.sparse import kernels
+from repro.sparse.kernels import INDEX_DTYPE
+
+
+class CSRMatrix:
+    """Immutable CSR matrix; the format used for matrix multiplication.
+
+    Column indices within each row are sorted (guaranteed by the
+    construction paths from canonical COO), which row slicing and the
+    SpGEMM coalescing step rely on.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        _validated: bool = False,
+    ) -> None:
+        n, m = int(shape[0]), int(shape[1])
+        indptr = np.asarray(indptr, dtype=INDEX_DTYPE)
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        data = np.asarray(data)
+        if not _validated:
+            kernels.validate_compressed(indptr, indices, data, n, m)
+        self.shape = (n, m)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    # -- properties --------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"
+
+    # -- conversions ---------------------------------------------------------
+    def to_coo(self):
+        """Convert to canonical :class:`~repro.sparse.coo.COOMatrix`."""
+        from repro.sparse.coo import COOMatrix
+
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        return COOMatrix(self.shape, rows, self.indices, self.data, _canonical=True)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    # -- row access -------------------------------------------------------------
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of row ``i`` as views."""
+        if not 0 <= i < self.shape[0]:
+            raise IndexError(f"row {i} out of range for shape {self.shape}")
+        s, e = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[s:e], self.data[s:e]
+
+    def row_nnz(self) -> np.ndarray:
+        """Stored entries per row."""
+        return np.diff(self.indptr)
+
+    # -- algebra -------------------------------------------------------------
+    def matmul(
+        self,
+        other: "CSRMatrix",
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        mask: "CSRMatrix | None" = None,
+    ) -> "CSRMatrix":
+        """Semiring SpGEMM ``self @ other``.
+
+        With ``mask``, only output positions stored in ``mask`` are
+        computed (GraphBLAS structural mask) — e.g. triangle counting's
+        ``(A @ A) ∘ A`` with ``mask=A`` never materializes ``A²``, which
+        on hub-heavy power-law graphs is the difference between bounded
+        memory and an out-of-memory kill.
+        """
+        if self.shape[1] != other.shape[0]:
+            raise ShapeError(f"inner dimensions differ: {self.shape} @ {other.shape}")
+        out_shape = (self.shape[0], other.shape[1])
+        mask_keys = None
+        if mask is not None:
+            if mask.shape != out_shape:
+                raise ShapeError(
+                    f"mask shape {mask.shape} does not match output {out_shape}"
+                )
+            coo = mask.to_coo()
+            mask_keys = coo.rows * out_shape[1] + coo.cols
+        r, c, v = kernels.csr_matmul(
+            self.indptr,
+            self.indices,
+            self.data,
+            other.indptr,
+            other.indices,
+            other.data,
+            self.shape[0],
+            semiring,
+            n_cols=out_shape[1],
+            mask_keys=mask_keys,
+        )
+        indptr = kernels.build_indptr(r, out_shape[0])
+        return CSRMatrix(out_shape, indptr, c, v, _validated=True)
+
+    def __matmul__(self, other: "CSRMatrix") -> "CSRMatrix":
+        return self.matmul(other)
+
+    def transpose(self) -> "CSRMatrix":
+        """The transpose, as CSR."""
+        t_indptr, t_indices, t_data = kernels.csr_transpose(
+            self.indptr, self.indices, self.data, self.shape[0], self.shape[1]
+        )
+        return CSRMatrix((self.shape[1], self.shape[0]), t_indptr, t_indices, t_data, _validated=True)
+
+    @property
+    def T(self) -> "CSRMatrix":
+        return self.transpose()
+
+    def ewise_mult(self, other: "CSRMatrix", semiring: Semiring = PLUS_TIMES) -> "CSRMatrix":
+        """Element-wise multiply (structure intersection)."""
+        if self.shape != other.shape:
+            raise ShapeError(f"shapes differ: {self.shape} vs {other.shape}")
+        return self.to_coo().ewise_mult(other.to_coo(), semiring).to_csr()
+
+    def ewise_add(self, other: "CSRMatrix", semiring: Semiring = PLUS_TIMES) -> "CSRMatrix":
+        """Element-wise add (structure union)."""
+        if self.shape != other.shape:
+            raise ShapeError(f"shapes differ: {self.shape} vs {other.shape}")
+        return self.to_coo().ewise_add(other.to_coo(), semiring).to_csr()
+
+    # -- reductions ---------------------------------------------------------------
+    def sum(self):
+        """Sum of all stored values (exact for integer dtypes)."""
+        return self.to_coo().sum()

@@ -1,0 +1,306 @@
+"""Low-level vectorized sparse kernels.
+
+Everything here operates on raw index/value arrays so the matrix classes
+stay thin.  All kernels are loop-free in the number of nonzeros (the only
+Python-level iteration is the generic-semiring fallback, which standard
+semirings never hit because their ``add`` ops are NumPy ufuncs with
+``reduceat``).
+
+Index arrays are ``int64`` throughout: the Kronecker product of two
+matrices with ~2**31 rows overflows int32 immediately, and the paper's
+target scales make 64-bit indices non-negotiable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.semiring.base import Semiring
+from repro.semiring.standard import PLUS_TIMES
+
+INDEX_DTYPE = np.int64
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + c)`` for each (s, c) pair, vectorized.
+
+    This is the classic cumsum trick: build one long ``arange`` and add a
+    per-segment offset correction.  It is the core primitive behind both
+    SpGEMM row expansion and sparse Kronecker products.
+
+    >>> expand_ranges(np.array([5, 0]), np.array([3, 2]))
+    array([5, 6, 7, 0, 1])
+    """
+    starts = np.asarray(starts, dtype=INDEX_DTYPE)
+    counts = np.asarray(counts, dtype=INDEX_DTYPE)
+    if starts.shape != counts.shape:
+        raise ShapeError("starts and counts must have equal length")
+    if counts.size == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if (counts < 0).any():
+        raise ValueError("counts must be non-negative")
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    # within[j] = position of j inside its segment
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=INDEX_DTYPE)
+    seg_starts = ends - counts  # start offset of each segment in output
+    # segment id of each output slot
+    seg_id = np.repeat(np.arange(len(counts), dtype=INDEX_DTYPE), counts)
+    within -= seg_starts[seg_id]
+    return starts[seg_id] + within
+
+
+def lex_sort_triples(
+    rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort triples by (row, col), stably.  Returns new arrays."""
+    order = np.lexsort((cols, rows))
+    return rows[order], cols[order], vals[order]
+
+
+def coalesce(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    drop_zero: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort triples and combine duplicates with the semiring add.
+
+    With ``drop_zero`` (default) entries equal to the semiring zero are
+    removed, keeping the stored-nonzero invariant: an absent entry and an
+    explicit zero are indistinguishable.
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    cols = np.asarray(cols, dtype=INDEX_DTYPE)
+    vals = np.asarray(vals)
+    if not (rows.shape == cols.shape == vals.shape):
+        raise ShapeError("rows, cols, vals must have equal length")
+    if rows.size == 0:
+        return rows, cols, vals
+    rows, cols, vals = lex_sort_triples(rows, cols, vals)
+    # boundary mask: True where a new (row, col) group starts
+    new_group = np.empty(len(rows), dtype=bool)
+    new_group[0] = True
+    np.not_equal(rows[1:], rows[:-1], out=new_group[1:])
+    new_group[1:] |= cols[1:] != cols[:-1]
+    starts = np.flatnonzero(new_group)
+    if len(starts) == len(rows):  # no duplicates
+        out_r, out_c, out_v = rows, cols, vals
+    else:
+        out_r = rows[starts]
+        out_c = cols[starts]
+        out_v = _segment_reduce(vals, starts, semiring)
+    if drop_zero:
+        keep = out_v != semiring.zero
+        if not keep.all():
+            out_r, out_c, out_v = out_r[keep], out_c[keep], out_v[keep]
+    return out_r, out_c, out_v
+
+
+def _segment_reduce(vals: np.ndarray, starts: np.ndarray, semiring: Semiring) -> np.ndarray:
+    """Reduce contiguous segments of ``vals`` beginning at ``starts``."""
+    reduceat = getattr(semiring.add, "reduceat", None)
+    if callable(reduceat):
+        return semiring.add.reduceat(vals, starts)  # type: ignore[union-attr]
+    # Generic fallback for non-ufunc adds.
+    bounds = np.append(starts, len(vals))
+    out = []
+    for s, e in zip(bounds[:-1], bounds[1:]):
+        acc = vals[s]
+        for v in vals[s + 1 : e]:
+            acc = semiring.add(acc, v)
+        out.append(acc)
+    return np.asarray(out, dtype=vals.dtype)
+
+
+def build_indptr(sorted_major: np.ndarray, n_major: int) -> np.ndarray:
+    """Build a CSR/CSC ``indptr`` from sorted major-axis indices."""
+    counts = np.bincount(sorted_major, minlength=n_major)
+    indptr = np.zeros(n_major + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+def validate_compressed(
+    indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, n_major: int, n_minor: int
+) -> None:
+    """Raise :class:`FormatError` if the compressed arrays are malformed."""
+    if indptr.ndim != 1 or len(indptr) != n_major + 1:
+        raise FormatError(f"indptr must have length {n_major + 1}, got {len(indptr)}")
+    if indptr[0] != 0:
+        raise FormatError("indptr must start at 0")
+    if (np.diff(indptr) < 0).any():
+        raise FormatError("indptr must be non-decreasing")
+    if int(indptr[-1]) != len(indices):
+        raise FormatError("indptr[-1] must equal nnz")
+    if len(indices) != len(data):
+        raise FormatError("indices and data must have equal length")
+    if len(indices) and (indices.min() < 0 or indices.max() >= n_minor):
+        raise FormatError("column index out of range")
+
+
+#: Per-chunk cap on intermediate SpGEMM products (~8M -> a few hundred MB
+#: of transient arrays).  Hub-heavy power-law graphs can fan out to
+#: billions of products; chunking keeps memory bounded by this constant
+#: plus the (coalesced) output size.
+SPGEMM_CHUNK_FANOUT = 1 << 23
+
+
+def csr_matmul(
+    a_indptr: np.ndarray,
+    a_indices: np.ndarray,
+    a_data: np.ndarray,
+    b_indptr: np.ndarray,
+    b_indices: np.ndarray,
+    b_data: np.ndarray,
+    n_rows: int,
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    n_cols: int | None = None,
+    mask_keys: np.ndarray | None = None,
+    chunk_fanout: int = SPGEMM_CHUNK_FANOUT,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sparse ``C = A B`` (both CSR), returning coalesced triples of C.
+
+    Row-expansion SpGEMM: every stored ``A(i, k)`` is joined with all
+    stored entries of row ``k`` of B; products are then coalesced by
+    (i, j) with the semiring add.  Fully vectorized via
+    :func:`expand_ranges`.
+
+    Two GraphBLAS-style refinements keep hub-heavy graphs tractable:
+
+    * **chunking** — when the total fanout exceeds ``chunk_fanout``, the
+      expansion runs in bounded slices of A's entries, each coalesced
+      before the next begins;
+    * **masking** — with ``mask_keys`` (sorted ``row * n_cols + col``
+      keys), products landing outside the mask are discarded *inside*
+      each chunk, so computing e.g. ``(A @ A) ∘ A`` for triangle counting
+      never materializes the dense-ish ``A²``.  ``n_cols`` (B's column
+      count) is required alongside ``mask_keys``.
+    """
+    a_nnz = len(a_indices)
+    if a_nnz == 0 or len(b_indices) == 0:
+        empty = np.empty(0, dtype=INDEX_DTYPE)
+        return empty, empty.copy(), np.empty(0, dtype=a_data.dtype)
+    if mask_keys is not None and n_cols is None:
+        raise ShapeError("mask_keys requires n_cols")
+    # Row index of every stored entry of A.
+    a_rows = np.repeat(np.arange(n_rows, dtype=INDEX_DTYPE), np.diff(a_indptr))
+    b_row_nnz = np.diff(b_indptr)
+    fanout = b_row_nnz[a_indices]  # products contributed by each A entry
+    total_fanout = int(fanout.sum())
+
+    def expand(sel: slice) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        k = a_indices[sel]
+        fo = fanout[sel]
+        gather = expand_ranges(b_indptr[k], fo)
+        rows = np.repeat(a_rows[sel], fo)
+        cols = b_indices[gather]
+        vals = semiring.mul(np.repeat(a_data[sel], fo), b_data[gather])
+        if mask_keys is not None:
+            if len(mask_keys) == 0:
+                empty = np.empty(0, dtype=INDEX_DTYPE)
+                return empty, empty.copy(), np.empty(0, dtype=vals.dtype)
+            keys = rows * n_cols + cols
+            pos = np.searchsorted(mask_keys, keys)
+            pos[pos == len(mask_keys)] = 0  # out-of-range keys can't match slot 0
+            keep = mask_keys[pos] == keys
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        return coalesce(rows, cols, vals, semiring, drop_zero=False)
+
+    if total_fanout <= chunk_fanout:
+        parts = [expand(slice(0, a_nnz))]
+    else:
+        # Chunk boundaries: contiguous runs of A entries whose cumulative
+        # fanout stays under the cap (single giant entries get their own
+        # chunk; its fanout is at most nnz(B), which the caller affords).
+        cumulative = np.cumsum(fanout)
+        parts = []
+        start = 0
+        while start < a_nnz:
+            base = cumulative[start - 1] if start else 0
+            stop = int(np.searchsorted(cumulative, base + chunk_fanout, side="right"))
+            stop = max(stop, start + 1)
+            parts.append(expand(slice(start, stop)))
+            start = stop
+    if len(parts) == 1:
+        r, c, v = parts[0]
+        keep = v != semiring.zero
+        if not keep.all():
+            r, c, v = r[keep], c[keep], v[keep]
+        return r, c, v
+    rows = np.concatenate([p[0] for p in parts])
+    cols = np.concatenate([p[1] for p in parts])
+    vals = np.concatenate([p[2] for p in parts])
+    return coalesce(rows, cols, vals, semiring)
+
+
+def csr_transpose(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    n_rows: int,
+    n_cols: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Transpose a CSR matrix; returns CSR arrays of the transpose."""
+    rows = np.repeat(np.arange(n_rows, dtype=INDEX_DTYPE), np.diff(indptr))
+    # Sort by (old col, old row) -> new (row, col).
+    order = np.lexsort((rows, indices))
+    t_rows = indices[order]
+    t_cols = rows[order]
+    t_data = data[order]
+    t_indptr = build_indptr(t_rows, n_cols)
+    return t_indptr, t_cols, t_data
+
+
+def ewise_triples(
+    shape_check: Tuple[int, int],
+    a: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    b: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    *,
+    union: bool,
+    semiring: Semiring = PLUS_TIMES,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Element-wise combine of two coalesced, sorted triple sets.
+
+    ``union=True`` implements semiring add semantics (entries present in
+    either operand; ``op`` applied where both present, pass-through
+    otherwise).  ``union=False`` implements multiply semantics (entries
+    present in both operands only).
+    """
+    ar, ac, av = a
+    br, bc, bv = b
+    n_minor = shape_check[1]
+    akey = ar * n_minor + ac
+    bkey = br * n_minor + bc
+    if union:
+        # Merge: concatenate and coalesce with op as the combiner.  This is
+        # only correct when op(a, b) is the semiring add itself; for general
+        # union ops we do an explicit three-way split below.
+        common_a = np.isin(akey, bkey, assume_unique=True)
+        common_b = np.isin(bkey, akey, assume_unique=True)
+        both_a = np.flatnonzero(common_a)
+        both_b = np.flatnonzero(common_b)
+        # Keys are sorted, so matched positions align after sorting.
+        vals_both = op(av[both_a], bv[both_b])
+        rows = np.concatenate([ar[~common_a], br[~common_b], ar[both_a]])
+        cols = np.concatenate([ac[~common_a], bc[~common_b], ac[both_a]])
+        vals = np.concatenate([av[~common_a], bv[~common_b], vals_both])
+        return coalesce(rows, cols, vals, semiring)
+    # Intersection.
+    common_a = np.isin(akey, bkey, assume_unique=True)
+    common_b = np.isin(bkey, akey, assume_unique=True)
+    both_a = np.flatnonzero(common_a)
+    both_b = np.flatnonzero(common_b)
+    vals = op(av[both_a], bv[both_b])
+    rows, cols = ar[both_a], ac[both_a]
+    keep = vals != semiring.zero
+    return rows[keep], cols[keep], vals[keep]

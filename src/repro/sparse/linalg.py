@@ -1,0 +1,224 @@
+"""Reductions and degree helpers over sparse matrices.
+
+Degrees here are *structural*: the number of stored entries in a row or
+column, matching the paper's definition ("the degree of a vertex is the
+number of non-zero entries in the corresponding row and column").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.convert import AnySparse, as_coo
+
+
+def row_degrees(m: AnySparse) -> np.ndarray:
+    """nnz per row (out-degree of each vertex for an adjacency matrix)."""
+    return as_coo(m).row_nnz()
+
+
+def col_degrees(m: AnySparse) -> np.ndarray:
+    """nnz per column (in-degree of each vertex)."""
+    return as_coo(m).col_nnz()
+
+
+def nnz_per_row(m: AnySparse) -> np.ndarray:
+    """Alias of :func:`row_degrees` for readability in partition code."""
+    return row_degrees(m)
+
+
+def degrees(m: AnySparse) -> np.ndarray:
+    """Undirected vertex degrees of a symmetric adjacency matrix.
+
+    For a symmetric 0/1 matrix the degree of vertex ``v`` is the nnz of
+    row ``v`` (== column ``v``); a self-loop contributes 1, matching the
+    row-nnz convention used throughout the paper's distributions.
+    """
+    coo = as_coo(m)
+    if coo.shape[0] != coo.shape[1]:
+        raise ShapeError(f"adjacency matrix must be square, got {coo.shape}")
+    return coo.row_nnz()
+
+
+def tril(m: AnySparse, *, strict: bool = True):
+    """Lower-triangular part (strictly below the diagonal by default)."""
+    from repro.sparse.coo import COOMatrix
+
+    coo = as_coo(m)
+    keep = coo.rows > coo.cols if strict else coo.rows >= coo.cols
+    return COOMatrix(
+        coo.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep], _canonical=True
+    )
+
+
+def triu(m: AnySparse, *, strict: bool = True):
+    """Upper-triangular part (strictly above the diagonal by default)."""
+    from repro.sparse.coo import COOMatrix
+
+    coo = as_coo(m)
+    keep = coo.rows < coo.cols if strict else coo.rows <= coo.cols
+    return COOMatrix(
+        coo.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep], _canonical=True
+    )
+
+
+def apply_values(m: AnySparse, fn):
+    """New matrix with ``fn`` applied to every stored value (vectorized).
+
+    ``fn`` must accept an ndarray; results equal to zero are dropped to
+    preserve canonical form.
+    """
+    from repro.sparse.coo import COOMatrix
+
+    coo = as_coo(m)
+    vals = np.asarray(fn(coo.vals))
+    if vals.shape != coo.vals.shape:
+        raise ShapeError("apply_values fn must preserve the value-array shape")
+    keep = vals != 0
+    return COOMatrix(
+        coo.shape, coo.rows[keep], coo.cols[keep], vals[keep], _canonical=True
+    )
+
+
+def select_entries(m: AnySparse, predicate):
+    """Keep stored entries where ``predicate(rows, cols, vals)`` is True.
+
+    ``predicate`` receives the three parallel arrays and returns a boolean
+    mask (GraphBLAS ``select``).
+    """
+    from repro.sparse.coo import COOMatrix
+
+    coo = as_coo(m)
+    keep = np.asarray(predicate(coo.rows, coo.cols, coo.vals), dtype=bool)
+    if keep.shape != coo.rows.shape:
+        raise ShapeError("select predicate must return one flag per stored entry")
+    return COOMatrix(
+        coo.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep], _canonical=True
+    )
+
+
+def selection_matrix(n: int, indices: np.ndarray) -> "COOMatrix":
+    """``S`` with ``S(indices[j], j) = 1`` — the paper's selection matrix.
+
+    Extraction then reads ``C = Sᵀ(i) A S(j)`` (the book excerpt the
+    paper reproduces, Section 7.17).  Columns select in the order given;
+    repeated indices are allowed (they duplicate rows/columns).
+    """
+    from repro.sparse.coo import COOMatrix
+
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.ndim != 1:
+        raise ShapeError("indices must be 1-D")
+    if idx.size and (idx.min() < 0 or idx.max() >= n):
+        raise ShapeError(f"selection index out of range for size {n}")
+    cols = np.arange(len(idx), dtype=np.int64)
+    return COOMatrix((n, len(idx)), idx, cols, np.ones(len(idx), dtype=np.int64))
+
+
+def extract(m: AnySparse, row_indices: np.ndarray, col_indices: np.ndarray) -> "COOMatrix":
+    """Submatrix ``C(a, b) = M(row_indices[a], col_indices[b])``.
+
+    Direct fancy-indexing implementation; algebraically identical to
+    ``Sᵀ(i) M S(j)`` with selection matrices (tests verify the identity).
+    Repeated indices duplicate rows/columns, as with selection matrices.
+    """
+    from repro.sparse.coo import COOMatrix
+
+    coo = as_coo(m)
+    rows = np.asarray(row_indices, dtype=np.int64)
+    cols = np.asarray(col_indices, dtype=np.int64)
+    if rows.ndim != 1 or cols.ndim != 1:
+        raise ShapeError("index arrays must be 1-D")
+    if rows.size and (rows.min() < 0 or rows.max() >= coo.shape[0]):
+        raise ShapeError("row index out of range")
+    if cols.size and (cols.min() < 0 or cols.max() >= coo.shape[1]):
+        raise ShapeError("col index out of range")
+    # Positions of each requested row/col among stored entries: build
+    # maps old->list-of-new (duplicates allowed) via sorting.
+    out_rows = []
+    out_cols = []
+    out_vals = []
+    row_order = np.argsort(rows, kind="stable")
+    col_order = np.argsort(cols, kind="stable")
+    sorted_rows = rows[row_order]
+    sorted_cols = cols[col_order]
+    for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+        r_lo = np.searchsorted(sorted_rows, r, side="left")
+        r_hi = np.searchsorted(sorted_rows, r, side="right")
+        if r_lo == r_hi:
+            continue
+        c_lo = np.searchsorted(sorted_cols, c, side="left")
+        c_hi = np.searchsorted(sorted_cols, c, side="right")
+        if c_lo == c_hi:
+            continue
+        for a in row_order[r_lo:r_hi]:
+            for b in col_order[c_lo:c_hi]:
+                out_rows.append(a)
+                out_cols.append(b)
+                out_vals.append(v)
+    return COOMatrix(
+        (len(rows), len(cols)),
+        np.asarray(out_rows, dtype=np.int64),
+        np.asarray(out_cols, dtype=np.int64),
+        np.asarray(out_vals, dtype=coo.dtype),
+    )
+
+
+def matrix_power(m: AnySparse, k: int, semiring=None):
+    """``M^k`` under a semiring (binary exponentiation on SpGEMM).
+
+    ``k = 0`` returns the identity pattern.  Over plus-times, entry
+    (i, j) counts length-k walks — an independent witness for spectrum
+    moments in the validation suite.
+    """
+    from repro.semiring.standard import PLUS_TIMES
+    from repro.sparse.construct import eye
+
+    semiring = semiring or PLUS_TIMES
+    coo = as_coo(m)
+    if coo.shape[0] != coo.shape[1]:
+        raise ShapeError(f"matrix power needs a square matrix, got {coo.shape}")
+    if k < 0:
+        raise ValueError(f"power must be non-negative, got {k}")
+    if k == 0:
+        return eye(coo.shape[0], dtype=coo.dtype)
+    result = None
+    base = coo.to_csr()
+    while k:
+        if k & 1:
+            result = base if result is None else result.matmul(base, semiring)
+        k >>= 1
+        if k:
+            base = base.matmul(base, semiring)
+    return result.to_coo()
+
+
+def matvec(m: AnySparse, x: np.ndarray) -> np.ndarray:
+    """Dense ``y = M x`` for a sparse M (float64 accumulation)."""
+    coo = as_coo(m)
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (coo.shape[1],):
+        raise ShapeError(f"x must have shape ({coo.shape[1]},), got {x.shape}")
+    y = np.zeros(coo.shape[0], dtype=np.float64)
+    np.add.at(y, coo.rows, coo.vals * x[coo.cols])
+    return y
+
+
+def total_sum(m: AnySparse):
+    """``1ᵀ M 1`` — sum of all stored values, exact for integer dtypes."""
+    return as_coo(m).sum()
+
+
+def trace(m: AnySparse):
+    """Sum of diagonal values."""
+    coo = as_coo(m)
+    if coo.shape[0] != coo.shape[1]:
+        raise ShapeError(f"trace needs a square matrix, got {coo.shape}")
+    on_diag = coo.rows == coo.cols
+    if not on_diag.any():
+        return 0
+    vals = coo.vals[on_diag]
+    if np.issubdtype(vals.dtype, np.integer):
+        return int(vals.astype(object).sum())
+    return vals.sum().item()

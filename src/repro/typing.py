@@ -1,0 +1,44 @@
+"""Shared type aliases used across :mod:`repro`.
+
+The library deliberately keeps two numeric worlds apart:
+
+* **Exact world** (design path): Python ``int`` — arbitrary precision, used
+  for vertex/edge/triangle counts and degree distributions of graphs that
+  may have :math:`10^{30}` edges.
+* **Realized world** (generation path): NumPy integer arrays — used only
+  when a graph is actually materialized in memory.
+
+Aliases here make that split visible in signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: An exact (arbitrary-precision) count: vertices, edges, triangles...
+ExactInt = int
+
+#: A degree distribution: maps degree ``d`` -> number of vertices with that
+#: degree ``n(d)``.  Both keys and values are exact ints.
+DegreeMap = dict[int, int]
+
+#: Row/column index arrays of a realized sparse matrix.
+IndexArray = npt.NDArray[np.int64]
+
+#: Value array of a realized sparse matrix.
+ValueArray = np.ndarray
+
+#: (rows, cols, vals) triple arrays describing sparse nonzeros.
+Triples = Tuple[IndexArray, IndexArray, ValueArray]
+
+#: A shape (always square for adjacency matrices, but kept general).
+Shape = Tuple[int, int]
+
+#: Anything accepted where a list of star sizes is expected.
+StarSizes = Sequence[int]
+
+#: A scalar accepted by semiring ops.
+Scalar = Union[int, float, bool, np.integer, np.floating, np.bool_]

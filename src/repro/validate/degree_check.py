@@ -1,0 +1,75 @@
+"""Exact comparison of measured vs. predicted degree distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.design.distribution import DegreeDistribution
+from repro.graphs.adjacency import Graph
+
+
+@dataclass(frozen=True)
+class DegreeCheck:
+    """Outcome of a degree-distribution validation.
+
+    ``mismatches`` maps degree -> (measured, predicted) for every degree
+    where the two disagree; exact agreement (the paper's Fig. 4 claim)
+    means an empty mapping.
+    """
+
+    exact_match: bool
+    num_degrees_measured: int
+    num_degrees_predicted: int
+    mismatches: Dict[int, Tuple[int, int]]
+
+    def __bool__(self) -> bool:
+        return self.exact_match
+
+    def to_text(self) -> str:
+        if self.exact_match:
+            return (
+                f"degree distribution: EXACT match over "
+                f"{self.num_degrees_predicted} distinct degrees"
+            )
+        lines = [
+            f"degree distribution: {len(self.mismatches)} mismatching degrees "
+            f"(measured {self.num_degrees_measured} distinct, "
+            f"predicted {self.num_degrees_predicted})"
+        ]
+        for d, (got, want) in sorted(self.mismatches.items())[:20]:
+            lines.append(f"  d={d}: measured {got}, predicted {want}")
+        return "\n".join(lines)
+
+
+def check_degree_distribution(
+    measured: Graph | Mapping[int, int] | DegreeDistribution,
+    predicted: DegreeDistribution | Mapping[int, int],
+) -> DegreeCheck:
+    """Compare a measured distribution with a prediction, exactly.
+
+    ``measured`` may be a realized :class:`~repro.graphs.adjacency.Graph`
+    (its distribution is computed here) or an already-computed mapping.
+    """
+    if isinstance(measured, Graph):
+        got: Dict[int, int] = measured.degree_distribution()
+    elif isinstance(measured, DegreeDistribution):
+        got = measured.to_dict()
+    else:
+        got = {int(d): int(c) for d, c in measured.items()}
+    want = (
+        predicted.to_dict()
+        if isinstance(predicted, DegreeDistribution)
+        else {int(d): int(c) for d, c in predicted.items()}
+    )
+    mismatches: Dict[int, Tuple[int, int]] = {}
+    for d in set(got) | set(want):
+        g, w = got.get(d, 0), want.get(d, 0)
+        if g != w:
+            mismatches[d] = (g, w)
+    return DegreeCheck(
+        exact_match=not mismatches,
+        num_degrees_measured=len(got),
+        num_degrees_predicted=len(want),
+        mismatches=mismatches,
+    )

@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import from_dense
+from repro.sparse.coo import COOMatrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need other seeds create their own."""
+    return np.random.default_rng(12345)
+
+
+def random_dense(rng: np.random.Generator, n: int, m: int, density: float = 0.3) -> np.ndarray:
+    """Random small int64 matrix with ~density nonzeros, values in 1..4."""
+    mask = rng.random((n, m)) < density
+    vals = rng.integers(1, 5, size=(n, m))
+    return (mask * vals).astype(np.int64)
+
+
+def random_coo(rng: np.random.Generator, n: int, m: int, density: float = 0.3) -> COOMatrix:
+    return from_dense(random_dense(rng, n, m, density))
+
+
+def assert_matrix_equals_dense(sparse, dense: np.ndarray) -> None:
+    np.testing.assert_array_equal(sparse.to_dense(), dense)

@@ -1,0 +1,122 @@
+"""Unit tests for the analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    degree_series,
+    fit_power_law,
+    ideal_power_law_series,
+    log_bin_series,
+    power_law_deviation,
+)
+from repro.analysis.powerlaw import _log10_exact
+from repro.design import DegreeDistribution, PowerLawDesign
+from repro.errors import DesignError
+
+
+class TestLog10Exact:
+    def test_small_values(self):
+        assert _log10_exact(1000) == pytest.approx(3.0)
+
+    def test_huge_values_beyond_float(self):
+        v = 10**400 + 12345
+        assert _log10_exact(v) == pytest.approx(400.0, abs=1e-9)
+
+    def test_fig7_edge_count(self):
+        v = 2705963586782877716483871216764
+        assert _log10_exact(v) == pytest.approx(math.log10(2.7059635868e30), abs=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DesignError):
+            _log10_exact(0)
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_alpha_one(self):
+        dist = PowerLawDesign([3, 4, 5]).degree_distribution
+        fit = fit_power_law(dist)
+        assert fit.alpha == pytest.approx(1.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-12)
+        assert fit.coefficient == pytest.approx(60.0, rel=1e-6)
+
+    def test_alpha_two(self):
+        dist = {d: 10**6 // d**2 for d in (1, 10, 100)}
+        fit = fit_power_law(dist)
+        assert fit.alpha == pytest.approx(2.0, abs=1e-6)
+
+    def test_works_on_mapping(self):
+        fit = fit_power_law({1: 100, 10: 10, 100: 1})
+        assert fit.alpha == pytest.approx(1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(DesignError):
+            fit_power_law({5: 3})
+
+    def test_fig7_scale_fit_is_finite(self):
+        dist = PowerLawDesign(
+            [3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641], "leaf"
+        ).degree_distribution
+        fit = fit_power_law(dist)
+        assert 0.5 < fit.alpha < 1.5
+        assert fit.num_points == len(dist)
+
+
+class TestDeviation:
+    def test_zero_on_exact_law(self):
+        design = PowerLawDesign([3, 4, 5, 9])
+        dist = design.degree_distribution
+        dev = power_law_deviation(dist, 1.0, _log10_exact(design.power_law_coefficient))
+        assert dev == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_on_decorated_design(self):
+        # Center loops perturb the line (the paper's Fig. 6 wobble).
+        design = PowerLawDesign([3, 4, 5, 9], "center")
+        dist = design.degree_distribution
+        dev = power_law_deviation(dist, 1.0, _log10_exact(design.power_law_coefficient))
+        assert dev > 0.01
+
+
+class TestSeries:
+    def test_degree_series_logs(self):
+        s = degree_series({1: 100, 10: 10})
+        assert s.log10_degree == (0.0, 1.0)
+        assert s.log10_count == (2.0, 1.0)
+
+    def test_degree_series_drops_degree_zero(self):
+        s = degree_series({0: 5, 2: 3})
+        assert len(s) == 1
+
+    def test_series_from_distribution(self):
+        s = degree_series(DegreeDistribution({1: 15, 15: 1}), label="x")
+        assert s.label == "x"
+        assert s.to_rows() == [(0.0, pytest.approx(math.log10(15))), (pytest.approx(math.log10(15)), 0.0)]
+
+    def test_ideal_line_endpoints(self):
+        s = ideal_power_law_series(1000, 1000, points=11)
+        assert s.log10_count[0] == pytest.approx(3.0)
+        assert s.log10_count[-1] == pytest.approx(0.0)
+        assert len(s) == 11
+
+
+class TestLogBinSeries:
+    def test_bins_aggregate(self):
+        rows = log_bin_series({1: 10, 2: 5, 3: 4, 4: 2, 7: 1})
+        as_dict = dict(rows)
+        assert as_dict[2 ** 0.5] == 10  # bin [1,2)
+        assert as_dict[2 ** 1.5] == 9   # bin [2,4)
+        assert as_dict[2 ** 2.5] == 3   # bin [4,8)
+
+    def test_degree_zero_bin(self):
+        rows = log_bin_series({0: 7, 1: 1})
+        assert rows[0] == (0.0, 7)
+
+    def test_bad_base(self):
+        with pytest.raises(DesignError):
+            log_bin_series({1: 1}, base=0.5)
+
+    def test_binned_law_from_design(self):
+        dist = PowerLawDesign([3, 4, 5, 9, 16]).degree_distribution
+        rows = log_bin_series(dist)
+        assert sum(c for _, c in rows) == dist.num_vertices()

@@ -1,0 +1,152 @@
+"""Unit tests for centrality measures and triangle enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    betweenness_centrality,
+    count_by_enumeration,
+    degree_centrality,
+    eigenvector_centrality,
+    enumerate_triangles,
+    iter_triangles,
+    top_k_vertices,
+)
+from repro.design import PowerLawDesign
+from repro.errors import ValidationError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_adjacency,
+)
+from repro.kron import kron
+from repro.sparse import from_edges, from_triples
+
+
+def _nx_graph(graph: Graph):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    for r, c, _ in graph.adjacency:
+        if r < c:
+            G.add_edge(int(r), int(c))
+    return G
+
+
+class TestDegreeCentrality:
+    def test_star_center_dominates(self):
+        scores = degree_centrality(Graph(star_adjacency(5)))
+        assert scores[0] == pytest.approx(1.0)
+        assert np.all(scores[1:] == pytest.approx(0.2))
+
+    def test_single_vertex(self):
+        assert degree_centrality(Graph(empty_graph(1))).tolist() == [0.0]
+
+
+class TestEigenvectorCentrality:
+    def test_regular_graph_uniform(self):
+        scores = eigenvector_centrality(Graph(cycle_graph(6)))
+        assert np.allclose(scores, scores[0])
+
+    def test_star_center_highest(self):
+        scores = eigenvector_centrality(Graph(star_adjacency(6)))
+        assert scores[0] > scores[1] > 0
+
+    def test_requires_symmetric(self):
+        with pytest.raises(ValidationError):
+            eigenvector_centrality(Graph(from_triples((2, 2), [0], [1], [1])))
+
+    def test_empty_graph_uniform(self):
+        scores = eigenvector_centrality(Graph(empty_graph(4)))
+        assert np.allclose(scores, 0.5)
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            star_adjacency(5),
+            path_graph(6),
+            cycle_graph(7),
+            complete_graph(5),
+            kron(star_adjacency(3), star_adjacency(2)),
+        ],
+        ids=["star", "path", "cycle", "complete", "kron"],
+    )
+    def test_matches_networkx(self, matrix):
+        import networkx as nx
+
+        g = Graph(matrix)
+        ours = betweenness_centrality(g)
+        theirs = nx.betweenness_centrality(_nx_graph(g))
+        np.testing.assert_allclose(
+            ours, [theirs[i] for i in range(g.num_vertices)], atol=1e-12
+        )
+
+    def test_unnormalized(self):
+        # Path 0-1-2: the middle vertex lies on the single 0..2 path.
+        scores = betweenness_centrality(Graph(path_graph(3)), normalized=False)
+        np.testing.assert_allclose(scores, [0.0, 1.0, 0.0])
+
+    def test_star_center_carries_all_paths(self):
+        scores = betweenness_centrality(Graph(star_adjacency(6)), normalized=True)
+        assert scores[0] == pytest.approx(1.0)
+        assert np.all(scores[1:] == 0)
+
+    def test_disconnected_components_contribute_zero_cross_pairs(self):
+        g = Graph(from_edges(4, [(0, 1), (2, 3)]))
+        scores = betweenness_centrality(g, normalized=False)
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_requires_symmetric(self):
+        with pytest.raises(ValidationError):
+            betweenness_centrality(Graph(from_triples((2, 2), [0], [1], [1])))
+
+
+class TestTopK:
+    def test_ordering(self):
+        top = top_k_vertices(np.array([0.1, 0.9, 0.5]), k=2)
+        assert top == [(1, pytest.approx(0.9)), (2, pytest.approx(0.5))]
+
+    def test_k_larger_than_n(self):
+        assert len(top_k_vertices(np.array([1.0]), k=5)) == 1
+
+
+class TestEnumeration:
+    def test_k4_triangles(self):
+        tris = enumerate_triangles(Graph(complete_graph(4)))
+        assert tris == [(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)]
+
+    def test_triangle_free(self):
+        assert enumerate_triangles(Graph(star_adjacency(6))) == []
+
+    def test_count_matches_design_prediction(self):
+        for sizes, loop in ([[5, 3], "center"], [[5, 3], "leaf"], [[3, 4, 2], "center"]):
+            design = PowerLawDesign(sizes, loop)
+            graph = design.realize()
+            assert count_by_enumeration(graph) == design.num_triangles
+
+    def test_enumerated_triples_are_actual_triangles(self):
+        design = PowerLawDesign([3, 4], "center")
+        graph = design.realize()
+        adj = graph.adjacency
+        for a, b, c in iter_triangles(graph):
+            assert adj.get(a, b) and adj.get(b, c) and adj.get(a, c)
+            assert a < b < c
+
+    def test_limit_enforced(self):
+        with pytest.raises(ValidationError):
+            enumerate_triangles(Graph(complete_graph(5)), limit=3)
+
+    def test_rejects_loops(self):
+        with pytest.raises(ValidationError):
+            enumerate_triangles(Graph(star_adjacency(3, "center")))
+
+    def test_no_duplicate_triangles(self):
+        design = PowerLawDesign([2, 3, 4], "center")
+        tris = enumerate_triangles(design.realize())
+        assert len(tris) == len(set(tris)) == design.num_triangles

@@ -1,0 +1,133 @@
+"""Unit tests for k-truss decomposition and clustering coefficients."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis import TrussResult, edge_support, k_truss, max_truss_number
+from repro.design import PowerLawDesign
+from repro.errors import ValidationError
+from repro.graphs import Graph, complete_graph, cycle_graph, empty_graph, star_adjacency
+from repro.kron import kron
+from repro.sparse import from_edges
+
+
+def _nx(graph: Graph):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    for r, c, _ in graph.adjacency:
+        if r < c:
+            G.add_edge(int(r), int(c))
+    return G
+
+
+class TestEdgeSupport:
+    def test_complete_graph_uniform_support(self):
+        s = edge_support(Graph(complete_graph(5)))
+        assert set(s.vals.tolist()) == {3}
+        assert s.nnz == 20
+
+    def test_triangle_free_graph_zero_support(self):
+        s = edge_support(Graph(star_adjacency(5)))
+        assert s.nnz == 10
+        assert set(s.vals.tolist()) == {0}
+
+    def test_pattern_matches_adjacency(self):
+        g = PowerLawDesign([3, 2], "center").realize()
+        s = edge_support(g)
+        assert np.array_equal(s.rows, g.adjacency.rows)
+        assert np.array_equal(s.cols, g.adjacency.cols)
+
+    def test_rejects_loops(self):
+        with pytest.raises(ValidationError):
+            edge_support(Graph(star_adjacency(3, "center")))
+
+
+class TestKTruss:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_matches_networkx(self, k):
+        import networkx as nx
+
+        for mat in (
+            complete_graph(6),
+            cycle_graph(7),
+            kron(star_adjacency(3, "center"), star_adjacency(2, "center")).without_self_loop(0),
+        ):
+            g = Graph(mat)
+            ours = {
+                (int(r), int(c))
+                for r, c, _ in k_truss(g, k).subgraph.adjacency
+                if r < c
+            }
+            theirs = {tuple(sorted(e)) for e in nx.k_truss(_nx(g), k).edges()}
+            assert ours == theirs, (k, mat.shape)
+
+    def test_k2_keeps_everything(self):
+        g = Graph(star_adjacency(4))
+        assert k_truss(g, 2).num_edges == g.num_edges
+
+    def test_k3_removes_triangle_free_edges(self):
+        assert k_truss(Graph(star_adjacency(4)), 3).num_edges == 0
+
+    def test_result_is_dataclass(self):
+        result = k_truss(Graph(complete_graph(4)), 3)
+        assert isinstance(result, TrussResult)
+        assert result.rounds >= 1
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            k_truss(Graph(complete_graph(3)), 1)
+
+    def test_cascading_removal(self):
+        # K4 plus a pendant triangle chain: 4-truss strips the chain.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4)]
+        g = Graph(from_edges(5, edges))
+        result = k_truss(g, 4)
+        kept = {(int(r), int(c)) for r, c, _ in result.subgraph.adjacency if r < c}
+        assert kept == {(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)}
+
+
+class TestMaxTruss:
+    def test_complete_graph(self):
+        assert max_truss_number(Graph(complete_graph(5))) == 5
+
+    def test_triangle_free(self):
+        assert max_truss_number(Graph(cycle_graph(6))) == 2
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            max_truss_number(Graph(empty_graph(3)))
+
+
+class TestClustering:
+    def test_design_wedges_exact(self):
+        d = PowerLawDesign([5, 3])
+        # wedges from the distribution {1:15, 3:5, 5:3, 15:1}.
+        expected = 5 * 3 + 3 * 10 + 1 * 105
+        assert d.num_wedges == expected
+
+    def test_design_vs_measured(self):
+        for loop in (None, "center", "leaf"):
+            d = PowerLawDesign([3, 4, 2], loop)
+            g = d.realize()
+            assert g.num_wedges() == d.num_wedges
+            assert g.clustering_coefficient() == pytest.approx(
+                float(d.clustering_coefficient)
+            )
+
+    def test_complete_graph_clustering_is_one(self):
+        assert Graph(complete_graph(6)).clustering_coefficient() == pytest.approx(1.0)
+
+    def test_bipartite_clustering_is_zero(self):
+        d = PowerLawDesign([3, 4, 5])
+        assert d.clustering_coefficient == Fraction(0)
+        assert d.realize().clustering_coefficient() == 0.0
+
+    def test_fig4_scale_clustering_computable(self):
+        d = PowerLawDesign([3, 4, 5, 9, 16, 25, 81, 256], "center")
+        c = d.clustering_coefficient
+        assert 0 < c < 1
+        assert c.numerator == 3 * 6_777_007_252_427

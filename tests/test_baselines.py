@@ -1,0 +1,171 @@
+"""Unit tests for the baseline random generators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    RMATParameters,
+    chung_lu_graph,
+    expected_degrees_power_law,
+    iterative_rmat_design,
+    rmat_edges,
+    rmat_graph,
+)
+from repro.errors import GenerationError
+
+
+class TestRMATParameters:
+    def test_defaults_are_graph500(self):
+        p = RMATParameters(scale=10)
+        assert (p.a, p.b, p.c, p.d) == (0.57, 0.19, 0.19, 0.05)
+        assert p.num_vertices == 1024
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(GenerationError):
+            RMATParameters(scale=4, a=0.9, b=0.2, c=0.0, d=0.0)
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(GenerationError):
+            RMATParameters(scale=4, a=1.2, b=-0.2, c=0.0, d=0.0)
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(GenerationError):
+            RMATParameters(scale=0)
+
+
+class TestRMATEdges:
+    def test_shapes_and_ranges(self, rng):
+        p = RMATParameters(scale=6)
+        rows, cols = rmat_edges(p, 500, rng=rng)
+        assert len(rows) == len(cols) == 500
+        assert rows.min() >= 0 and rows.max() < 64
+        assert cols.min() >= 0 and cols.max() < 64
+
+    def test_zero_edges(self, rng):
+        rows, cols = rmat_edges(RMATParameters(scale=3), 0, rng=rng)
+        assert rows.size == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(GenerationError):
+            rmat_edges(RMATParameters(scale=3), -1, rng=rng)
+
+    def test_deterministic_with_seed(self):
+        p = RMATParameters(scale=5)
+        r1 = rmat_edges(p, 100, rng=np.random.default_rng(7))
+        r2 = rmat_edges(p, 100, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(r1[0], r2[0])
+        np.testing.assert_array_equal(r1[1], r2[1])
+
+    def test_skew_toward_quadrant_a(self, rng):
+        # With a=0.57, low vertex ids should be much denser.
+        p = RMATParameters(scale=8)
+        rows, _ = rmat_edges(p, 20000, rng=rng)
+        low = (rows < 64).sum()
+        high = (rows >= 192).sum()
+        assert low > 3 * high
+
+    def test_uniform_parameters_give_erdos_renyi(self, rng):
+        p = RMATParameters(scale=6, a=0.25, b=0.25, c=0.25, d=0.25)
+        rows, _ = rmat_edges(p, 20000, rng=rng)
+        counts = np.bincount(rows, minlength=64)
+        # Every vertex id should appear within 4 sigma of the mean.
+        mean = 20000 / 64
+        assert (np.abs(counts - mean) < 4 * np.sqrt(mean)).mean() > 0.95
+
+
+class TestRMATGraph:
+    def test_realized_properties_are_random(self, rng):
+        # The paper's critique: realized nnz differs from the request.
+        p = RMATParameters(scale=7)
+        g = rmat_graph(p, 2000, rng=rng)
+        assert g.num_edges != 2000  # dedup + symmetrization changed it
+        assert g.num_vertices == 128
+
+    def test_symmetric_by_default(self, rng):
+        g = rmat_graph(RMATParameters(scale=5), 300, rng=rng)
+        assert g.is_symmetric()
+
+    def test_directed_mode(self, rng):
+        g = rmat_graph(RMATParameters(scale=5), 300, rng=rng, symmetrize=False)
+        assert g.num_edges <= 300
+
+    def test_produces_problematic_structure(self, rng):
+        # Empty vertices and self-loops — the paper's Section V point.
+        g = rmat_graph(RMATParameters(scale=8), 500, rng=rng)
+        assert g.num_empty_vertices() > 0
+
+    def test_pattern_values_are_binary(self, rng):
+        g = rmat_graph(RMATParameters(scale=5), 500, rng=rng)
+        assert set(np.unique(g.adjacency.vals)) == {1}
+
+
+class TestChungLu:
+    def test_expected_degrees_shape(self):
+        w = expected_degrees_power_law(100, 1.0, d_max=50)
+        assert len(w) == 100
+        assert w.max() <= 50
+        assert w.min() >= 1
+
+    def test_expected_degrees_validation(self):
+        with pytest.raises(GenerationError):
+            expected_degrees_power_law(0, 1.0)
+        with pytest.raises(GenerationError):
+            expected_degrees_power_law(10, -1.0)
+
+    def test_graph_roughly_matches_total_degree(self, rng):
+        w = expected_degrees_power_law(200, 1.0, d_max=40)
+        g = chung_lu_graph(w, rng=rng)
+        # Realized nnz is random but in the ballpark of sum(w).
+        assert 0.3 * w.sum() < g.num_edges < 1.5 * w.sum()
+
+    def test_graph_is_symmetric(self, rng):
+        g = chung_lu_graph(expected_degrees_power_law(100, 1.0), rng=rng)
+        assert g.is_symmetric()
+
+    def test_rejects_bad_weights(self, rng):
+        with pytest.raises(GenerationError):
+            chung_lu_graph(np.array([1.0, -2.0]), rng=rng)
+        with pytest.raises(GenerationError):
+            chung_lu_graph(np.empty(0), rng=rng)
+
+
+class TestIterativeDesign:
+    def test_converges_and_counts_cost(self, rng):
+        result = iterative_rmat_design(
+            4000, RMATParameters(scale=9), rel_tol=0.1, rng=rng
+        )
+        assert result.converged
+        assert abs(result.achieved_edges - 4000) <= 400
+        assert result.iterations >= 1
+        assert result.total_edges_generated >= result.achieved_edges
+        assert "rounds" in result.to_text()
+
+    def test_multiple_rounds_usually_needed_for_tight_tolerance(self):
+        # Tight tolerance forces the generate-measure-adjust loop to spin.
+        iters = []
+        for seed in range(5):
+            try:
+                r = iterative_rmat_design(
+                    5000,
+                    RMATParameters(scale=9),
+                    rel_tol=0.01,
+                    rng=np.random.default_rng(seed),
+                )
+                iters.append(r.iterations)
+            except GenerationError:
+                iters.append(99)
+        assert max(iters) > 1
+
+    def test_rejects_bad_target(self, rng):
+        with pytest.raises(GenerationError):
+            iterative_rmat_design(0, RMATParameters(scale=5), rng=rng)
+
+    def test_impossible_tolerance_raises(self, rng):
+        with pytest.raises(GenerationError):
+            iterative_rmat_design(
+                10**6,
+                RMATParameters(scale=4),  # only 16 vertices -> ~256 edges max
+                rel_tol=0.05,
+                max_iterations=3,
+                rng=rng,
+            )

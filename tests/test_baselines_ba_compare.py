@@ -1,0 +1,146 @@
+"""Unit tests for the BA baseline, comparison metrics, and Graph500 I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    distribution_report,
+    fit_power_law,
+    ks_distance_log,
+    total_variation_distance,
+)
+from repro.baselines import barabasi_albert_graph
+from repro.design import DegreeDistribution, PowerLawDesign
+from repro.errors import DesignError, GenerationError, IOFormatError
+from repro.io import read_graph500_edges, write_graph500_edges
+from repro.graphs import star_adjacency
+from repro.sparse import from_triples
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self, rng):
+        n, m = 200, 3
+        g = barabasi_albert_graph(n, m, rng=rng)
+        # star seed: m edges; each later vertex adds m edges; x2 symmetric.
+        expected = 2 * (m + (n - m - 1) * m)
+        assert g.num_edges == expected
+
+    def test_simple_graph(self, rng):
+        g = barabasi_albert_graph(100, 2, rng=rng)
+        assert g.num_self_loops() == 0
+        assert g.is_symmetric()
+        assert set(np.unique(g.adjacency.vals)) == {1}
+
+    def test_no_empty_vertices(self, rng):
+        g = barabasi_albert_graph(150, 2, rng=rng)
+        assert g.num_empty_vertices() == 0
+
+    def test_heavy_tail_emerges(self, rng):
+        g = barabasi_albert_graph(400, 2, rng=rng)
+        degrees = g.degree_vector()
+        # Preferential attachment: max degree far above the median.
+        assert degrees.max() > 5 * np.median(degrees)
+
+    def test_fitted_alpha_is_plausibly_power_law(self, rng):
+        g = barabasi_albert_graph(600, 3, rng=rng)
+        fit = fit_power_law(g.degree_distribution())
+        assert 0.5 < fit.alpha < 3.5
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(GenerationError):
+            barabasi_albert_graph(10, 0, rng=rng)
+        with pytest.raises(GenerationError):
+            barabasi_albert_graph(3, 3, rng=rng)
+
+    def test_deterministic_with_seed(self):
+        a = barabasi_albert_graph(80, 2, rng=np.random.default_rng(1))
+        b = barabasi_albert_graph(80, 2, rng=np.random.default_rng(1))
+        assert a == b
+
+
+class TestComparisonMetrics:
+    def test_identical_distributions_zero(self):
+        d = PowerLawDesign([3, 4, 5]).degree_distribution
+        assert total_variation_distance(d, d) == 0.0
+        assert ks_distance_log(d, d) == 0.0
+
+    def test_disjoint_supports_tv_one(self):
+        a = DegreeDistribution({1: 10})
+        b = DegreeDistribution({2: 10})
+        assert total_variation_distance(a, b) == 1.0
+        assert ks_distance_log(a, b) == 1.0
+
+    def test_scale_invariance(self):
+        # Same shape at different vertex counts compares as identical.
+        a = DegreeDistribution({1: 3, 2: 1})
+        b = DegreeDistribution({1: 300, 2: 100})
+        assert total_variation_distance(a, b) == 0.0
+
+    def test_symmetry(self):
+        a = PowerLawDesign([3, 4]).degree_distribution
+        b = PowerLawDesign([5, 3]).degree_distribution
+        assert total_variation_distance(a, b) == total_variation_distance(b, a)
+        assert ks_distance_log(a, b) == ks_distance_log(b, a)
+
+    def test_bounds(self):
+        a = PowerLawDesign([3, 4, 5]).degree_distribution
+        b = PowerLawDesign([9, 16]).degree_distribution
+        tv = total_variation_distance(a, b)
+        ks = ks_distance_log(a, b)
+        assert 0 <= ks <= tv <= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignError):
+            total_variation_distance(DegreeDistribution(), DegreeDistribution({1: 1}))
+
+    def test_design_vs_ba_report(self, rng):
+        design = PowerLawDesign([3, 4, 5, 9])
+        ba = barabasi_albert_graph(design.num_vertices, 2, rng=rng)
+        report = distribution_report(
+            design.degree_distribution, ba.degree_distribution()
+        )
+        assert 0 < report.total_variation <= 1
+        assert "TV distance" in report.to_text()
+
+    def test_works_at_extreme_scale(self):
+        # Exact rational arithmetic: Fig-5 vs Fig-6 comparison is fine.
+        a = PowerLawDesign([3, 4, 5, 9, 16, 25, 81, 256, 625]).degree_distribution
+        b = PowerLawDesign(
+            [3, 4, 5, 9, 16, 25, 81, 256, 625], "center"
+        ).degree_distribution
+        tv = total_variation_distance(a, b)
+        assert 0 < tv < 1
+
+
+class TestGraph500IO:
+    def test_roundtrip(self, tmp_path):
+        m = star_adjacency(6)
+        path = tmp_path / "edges.g500"
+        count = write_graph500_edges(path, m)
+        assert count == m.nnz
+        assert read_graph500_edges(path, m.shape).equal(m)
+
+    def test_rejects_weighted(self, tmp_path):
+        weighted = from_triples((2, 2), [0], [1], [7])
+        with pytest.raises(IOFormatError):
+            write_graph500_edges(tmp_path / "w.g500", weighted)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "bad.g500"
+        path.write_bytes(b"\x00" * 12)  # 1.5 int64 words
+        with pytest.raises(IOFormatError):
+            read_graph500_edges(path, (2, 2))
+
+    def test_empty_graph(self, tmp_path):
+        from repro.sparse import zeros
+
+        path = tmp_path / "empty.g500"
+        write_graph500_edges(path, zeros((3, 3)))
+        assert read_graph500_edges(path, (3, 3)).nnz == 0
+
+    def test_little_endian_layout(self, tmp_path):
+        path = tmp_path / "layout.g500"
+        write_graph500_edges(path, from_triples((300, 300), [258], [1], [1]))
+        raw = path.read_bytes()
+        assert raw[:8] == (258).to_bytes(8, "little")
+        assert raw[8:16] == (1).to_bytes(8, "little")

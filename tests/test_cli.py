@@ -1,0 +1,149 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDesignCommand:
+    def test_prints_exact_properties(self, capsys):
+        assert main(["design", "5", "3", "--self-loop", "center"]) == 0
+        out = capsys.readouterr().out
+        assert "24" in out and "76" in out and "15" in out
+
+    def test_error_path_returns_2(self, capsys):
+        assert main(["design", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSearchCommand:
+    def test_search(self, capsys):
+        assert main(["search", "100000"]) == 0
+        assert "found design" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generate_with_output(self, tmp_path, capsys):
+        out_dir = tmp_path / "ranks"
+        assert main(["generate", "3", "4", "--ranks", "3", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated aggregate rate" in out
+        assert len(list(out_dir.glob("edges.*.tsv"))) == 3
+
+    def test_generate_without_output(self, capsys):
+        assert main(["generate", "3", "4", "--ranks", "2"]) == 0
+
+
+class TestValidateCommand:
+    def test_passing_validation(self, capsys):
+        assert main(["validate", "3", "4", "--self-loop", "leaf"]) == 0
+        assert "VALIDATION PASSED" in capsys.readouterr().out
+
+
+class TestScaleCommand:
+    def test_sweep(self, capsys):
+        assert main(["scale", "3", "4", "5", "--ranks", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cores" in out and "rate" in out
+
+
+class TestSpectrumCommand:
+    def test_prints_spectrum(self, capsys):
+        assert main(["spectrum", "3", "4", "--self-loop", "center"]) == 0
+        out = capsys.readouterr().out
+        assert "spectral radius" in out
+        assert "distinct eigenvalues" in out
+
+    def test_raw_nnz_moment_shown(self, capsys):
+        assert main(["spectrum", "5", "3"]) == 0
+        assert "lambda^2" in capsys.readouterr().out
+
+
+class TestTrianglesCommand:
+    def test_enumerates_and_checks(self, capsys):
+        assert main(["triangles", "5", "3", "--self-loop", "center", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted triangles: 15" in out
+        assert "enumerated: 15" in out
+        assert "... (12 more)" in out
+
+    def test_zero_triangle_design(self, capsys):
+        assert main(["triangles", "3", "4"]) == 0
+        assert "enumerated: 0" in capsys.readouterr().out
+
+
+class TestSpyCommand:
+    def test_plain(self, capsys):
+        assert main(["spy", "5", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "nnz 60" in out
+
+    def test_permuted(self, capsys):
+        assert main(["spy", "5", "3", "--permute-components", "--width", "20"]) == 0
+        assert "component-permuted" in capsys.readouterr().out
+
+
+class TestEstimateCommand:
+    def test_feasible(self, capsys):
+        assert main(["estimate", "3", "4", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+
+    def test_infeasible_budget(self, capsys):
+        rc = main(["estimate", "3", "4", "5", "--rank-memory-gb", "0.0000001"])
+        assert rc == 1
+        assert "no feasible" in capsys.readouterr().out
+
+
+class TestCheckFilesCommand:
+    def _setup(self, tmp_path, loop="center"):
+        from repro.design import PowerLawDesign
+        from repro.io import save_design
+        from repro.parallel import generate_to_disk
+
+        design = PowerLawDesign([3, 4, 5], loop)
+        save_design(tmp_path / "design.json", design)
+        generate_to_disk(design, 4, tmp_path / "ranks")
+        return design
+
+    def test_passing_check(self, tmp_path, capsys):
+        self._setup(tmp_path)
+        rc = main(
+            ["check-files", str(tmp_path / "design.json"), str(tmp_path / "ranks")]
+        )
+        assert rc == 0
+        assert "EXACT" in capsys.readouterr().out
+
+    def test_corrupted_file_fails(self, tmp_path, capsys):
+        self._setup(tmp_path)
+        victim = next((tmp_path / "ranks").glob("edges.*.tsv"))
+        lines = victim.read_text().splitlines()
+        victim.write_text("\n".join(lines[:-1]) + "\n")  # drop one edge
+        rc = main(
+            ["check-files", str(tmp_path / "design.json"), str(tmp_path / "ranks")]
+        )
+        assert rc == 1
+        assert "mismatching" in capsys.readouterr().out
+
+    def test_missing_files_error(self, tmp_path, capsys):
+        from repro.design import PowerLawDesign
+        from repro.io import save_design
+
+        save_design(tmp_path / "design.json", PowerLawDesign([3]))
+        (tmp_path / "empty").mkdir()
+        rc = main(
+            ["check-files", str(tmp_path / "design.json"), str(tmp_path / "empty")]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

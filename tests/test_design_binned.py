@@ -1,0 +1,95 @@
+"""Unit tests for log-binned power-law designs."""
+
+import pytest
+
+from repro.design import (
+    PowerLawDesign,
+    binned_alpha,
+    binned_series,
+    is_exact_under_log_binning,
+    log_binned_design,
+)
+from repro.errors import DesignError
+
+
+class TestLogBinnedDesign:
+    def test_sizes_are_tower_of_base(self):
+        d = log_binned_design(3, 3)
+        assert d.star_sizes == (3, 9, 81)
+
+    def test_base_two_allowed(self):
+        d = log_binned_design(2, 3)
+        assert d.star_sizes == (2, 4, 16)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(DesignError):
+            log_binned_design(1, 2)
+
+    def test_rejects_zero_stars(self):
+        with pytest.raises(DesignError):
+            log_binned_design(3, 0)
+
+    def test_rejects_oversized_tower(self):
+        with pytest.raises(DesignError):
+            log_binned_design(3, 6)  # 3^32 points
+
+    def test_every_bin_holds_one_degree(self):
+        d = log_binned_design(3, 3)
+        series = binned_series(d, 3)
+        # Exponent sums 0..(1+2+4): all 8 subset sums of {1,2,4}.
+        assert [s for s, _ in series] == list(range(8))
+
+    def test_exact_under_binning(self):
+        for base, stars in ((2, 4), (3, 3), (5, 2)):
+            d = log_binned_design(base, stars)
+            assert is_exact_under_log_binning(d, base), (base, stars)
+
+    def test_counts_follow_binned_law(self):
+        d = log_binned_design(3, 3)
+        series = binned_series(d, 3)
+        total = 3 ** (1 + 2 + 4)
+        for s, count in series:
+            assert count * 3**s == total
+
+    def test_binned_alpha_is_one(self):
+        assert binned_alpha(log_binned_design(3, 3), 3) == pytest.approx(1.0)
+
+    def test_also_exact_plainly(self):
+        # The tower construction is exact under BOTH readings.
+        assert log_binned_design(3, 3).is_exact_power_law()
+
+    def test_realized_graph_matches(self):
+        from repro.validate import validate_design
+
+        assert validate_design(log_binned_design(2, 3)).passed
+
+
+class TestBinnedSeriesGeneral:
+    def test_generic_design_not_exact_binned(self):
+        # Paper Fig-5-style sets are exact plainly but not under binning.
+        d = PowerLawDesign([3, 4, 5])
+        assert d.is_exact_power_law()
+        assert not is_exact_under_log_binning(d, 2)
+
+    def test_series_counts_total_vertices(self):
+        d = PowerLawDesign([3, 4, 5])
+        series = binned_series(d, 2)
+        assert sum(c for _, c in series) == d.num_vertices
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(DesignError):
+            binned_series(PowerLawDesign([3]), 1)
+
+    def test_alpha_needs_two_bins(self):
+        with pytest.raises(DesignError):
+            binned_alpha(PowerLawDesign([1]), 2)
+
+    def test_huge_degrees_bin_exactly(self):
+        # Float log noise must not misplace 10^25-scale degrees.
+        d = PowerLawDesign(
+            [3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641], "leaf"
+        )
+        series = binned_series(d, 2)
+        assert sum(c for _, c in series) == d.num_vertices
+        exponents = [s for s, _ in series]
+        assert exponents == sorted(exponents)

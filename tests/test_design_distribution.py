@@ -1,0 +1,167 @@
+"""Unit tests for DegreeDistribution."""
+
+import pytest
+
+from repro.design import DegreeDistribution
+from repro.errors import DesignError
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        d = DegreeDistribution({3: 2, 1: 5})
+        assert d.to_dict() == {1: 5, 3: 2}
+
+    def test_from_pairs_accumulates(self):
+        d = DegreeDistribution([(1, 2), (1, 3)])
+        assert d[1] == 5
+
+    def test_zero_counts_dropped(self):
+        d = DegreeDistribution({1: 0, 2: 3})
+        assert len(d) == 1
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(DesignError):
+            DegreeDistribution({-1: 2})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DesignError):
+            DegreeDistribution({1: -2})
+
+    def test_from_star(self):
+        assert DegreeDistribution.from_star(5).to_dict() == {1: 5, 5: 1}
+
+    def test_from_star_m_hat_one(self):
+        assert DegreeDistribution.from_star(1).to_dict() == {1: 2}
+
+    def test_from_degree_vector(self):
+        d = DegreeDistribution.from_degree_vector([2, 2, 7])
+        assert d.to_dict() == {2: 2, 7: 1}
+
+    def test_power_law_curve(self):
+        d = DegreeDistribution.power_law(12, 1.0, 12)
+        assert d[1] == 12 and d[12] == 1
+        assert d[5] == round(12 / 5)
+
+
+class TestAggregates:
+    def test_totals(self):
+        d = DegreeDistribution({1: 15, 3: 5, 5: 3, 15: 1})
+        assert d.num_vertices() == 24
+        assert d.total_nnz() == 15 + 15 + 15 + 15
+
+    def test_min_max(self):
+        d = DegreeDistribution({2: 1, 9: 4})
+        assert d.min_degree() == 2
+        assert d.max_degree() == 9
+
+    def test_empty_min_max_raise(self):
+        with pytest.raises(DesignError):
+            DegreeDistribution().max_degree()
+        with pytest.raises(DesignError):
+            DegreeDistribution().min_degree()
+
+
+class TestKron:
+    def test_two_stars(self):
+        a = DegreeDistribution.from_star(5)
+        b = DegreeDistribution.from_star(3)
+        assert a.kron(b).to_dict() == {1: 15, 3: 5, 5: 3, 15: 1}
+
+    def test_kron_totals_multiply(self):
+        a = DegreeDistribution({1: 3, 4: 2})
+        b = DegreeDistribution({2: 5, 3: 1})
+        c = a.kron(b)
+        assert c.num_vertices() == a.num_vertices() * b.num_vertices()
+        assert c.total_nnz() == a.total_nnz() * b.total_nnz()
+
+    def test_kron_colliding_degrees_accumulate(self):
+        a = DegreeDistribution({1: 1, 2: 1})
+        b = DegreeDistribution({2: 1, 4: 1})
+        # products: 2, 4, 4, 8
+        assert a.kron(b).to_dict() == {2: 1, 4: 2, 8: 1}
+
+    def test_matmul_operator(self):
+        a = DegreeDistribution.from_star(2)
+        assert (a @ a).to_dict() == a.kron(a).to_dict()
+
+    def test_kron_all(self):
+        parts = [DegreeDistribution.from_star(m) for m in (2, 3, 5)]
+        folded = DegreeDistribution.kron_all(parts)
+        manual = parts[0].kron(parts[1]).kron(parts[2])
+        assert folded == manual
+
+    def test_kron_all_empty_rejected(self):
+        with pytest.raises(DesignError):
+            DegreeDistribution.kron_all([])
+
+    def test_kron_commutative(self):
+        a = DegreeDistribution({1: 2, 3: 1})
+        b = DegreeDistribution({2: 4, 5: 2})
+        assert a.kron(b) == b.kron(a)
+
+
+class TestAdjustments:
+    def test_shift_vertex(self):
+        d = DegreeDistribution({5: 2}).shift_vertex(5, 4)
+        assert d.to_dict() == {4: 1, 5: 1}
+
+    def test_shift_removes_empty_bucket(self):
+        d = DegreeDistribution({5: 1}).shift_vertex(5, 4)
+        assert d.to_dict() == {4: 1}
+
+    def test_shift_missing_degree_rejected(self):
+        with pytest.raises(DesignError):
+            DegreeDistribution({5: 1}).shift_vertex(6, 5)
+
+    def test_scaled(self):
+        d = DegreeDistribution({1: 2, 3: 1}).scaled(4)
+        assert d.to_dict() == {1: 8, 3: 4}
+
+
+class TestPowerLawStructure:
+    def test_exact_power_law_true(self):
+        assert DegreeDistribution({1: 15, 3: 5, 5: 3, 15: 1}).is_exact_power_law()
+
+    def test_exact_power_law_false(self):
+        assert not DegreeDistribution({1: 15, 3: 4}).is_exact_power_law()
+
+    def test_alpha_of_star(self):
+        assert DegreeDistribution.from_star(9).power_law_alpha() == pytest.approx(1.0)
+
+    def test_alpha_needs_two_degrees(self):
+        with pytest.raises(DesignError):
+            DegreeDistribution({3: 5}).power_law_alpha()
+
+    def test_fit_alpha_recovers_exact_law(self):
+        d = DegreeDistribution({1: 16, 2: 8, 4: 4, 8: 2, 16: 1})
+        alpha, coeff = d.fit_alpha()
+        assert alpha == pytest.approx(1.0)
+        assert coeff == pytest.approx(16.0)
+
+    def test_fit_alpha_needs_points(self):
+        with pytest.raises(DesignError):
+            DegreeDistribution({2: 3}).fit_alpha()
+
+
+class TestPresentation:
+    def test_series_sorted(self):
+        ds, cs = DegreeDistribution({5: 1, 1: 3}).series()
+        assert ds == [1, 5] and cs == [3, 1]
+
+    def test_log_binning_groups(self):
+        d = DegreeDistribution({1: 10, 2: 5, 3: 4, 4: 2, 7: 1})
+        bins = d.log_binned(base=2.0)
+        assert bins[(1, 2)] == 10
+        assert bins[(2, 4)] == 9
+        assert bins[(4, 8)] == 3
+
+    def test_log_binning_bad_base(self):
+        with pytest.raises(DesignError):
+            DegreeDistribution({1: 1}).log_binned(base=1.0)
+
+    def test_equality_with_dict(self):
+        assert DegreeDistribution({1: 2}) == {1: 2}
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(DegreeDistribution({1: 1}))

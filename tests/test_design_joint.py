@@ -1,0 +1,149 @@
+"""Unit tests for exact joint degree distributions and assortativity."""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.design import (
+    JointDegreeDistribution,
+    PowerLawDesign,
+    design_assortativity,
+    joint_degree_distribution,
+    star_joint,
+)
+from repro.errors import DesignError
+from repro.graphs import Graph, StarGraph
+
+
+def measured_joint(graph: Graph) -> dict:
+    degrees = graph.degree_vector()
+    counts: Counter = Counter()
+    for r, c, _ in graph.adjacency:
+        counts[(int(degrees[r]), int(degrees[c]))] += 1
+    return dict(counts)
+
+
+class TestJointClass:
+    def test_totals(self):
+        j = JointDegreeDistribution({(1, 2): 3, (2, 1): 3})
+        assert j.total_edges() == 6
+        assert j.is_symmetric()
+
+    def test_asymmetric_detected(self):
+        assert not JointDegreeDistribution({(1, 2): 3}).is_symmetric()
+
+    def test_kron_pairs_multiply(self):
+        a = JointDegreeDistribution({(2, 1): 1})
+        b = JointDegreeDistribution({(3, 5): 4})
+        assert a.kron(b).to_dict() == {(6, 5): 4}
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(DesignError):
+            JointDegreeDistribution({(0, 1): 1})
+
+    def test_shift_pairs(self):
+        j = JointDegreeDistribution({(3, 3): 2})
+        out = j.shift_pairs({(3, 3): -1, (2, 3): 1})
+        assert out.to_dict() == {(2, 3): 1, (3, 3): 1}
+
+    def test_shift_negative_rejected(self):
+        with pytest.raises(DesignError):
+            JointDegreeDistribution({(3, 3): 1}).shift_pairs({(3, 3): -2})
+
+    def test_blowup_guard(self):
+        wide = JointDegreeDistribution(
+            {(d, d + 1): 1 for d in range(1, 1001)}
+        )
+        with pytest.raises(DesignError):
+            JointDegreeDistribution.kron_all([wide] * 4, max_pairs=10_000)
+
+
+class TestStarJoint:
+    @pytest.mark.parametrize("m_hat", [1, 2, 3, 7])
+    @pytest.mark.parametrize("loop", [None, "center", "leaf"])
+    def test_matches_measured_star(self, m_hat, loop):
+        star = StarGraph(m_hat, loop) if loop else StarGraph(m_hat)
+        joint = star_joint(star)
+        assert joint == measured_joint(Graph(star.adjacency()))
+
+    def test_total_is_nnz(self):
+        star = StarGraph(5, "center")
+        assert star_joint(star).total_edges() == star.nnz
+
+
+class TestDesignJoint:
+    @pytest.mark.parametrize(
+        "sizes,loop",
+        [
+            ([5, 3], None),
+            ([5, 3], "center"),
+            ([5, 3], "leaf"),
+            ([3, 4, 2], "center"),
+            ([2, 3, 4], "leaf"),  # regression: m̂=2 degree collision
+            ([2, 2, 3], "leaf"),
+            ([1, 3], "center"),
+        ],
+    )
+    def test_matches_realized(self, sizes, loop):
+        design = PowerLawDesign(sizes, loop)
+        assert joint_degree_distribution(design) == measured_joint(design.realize())
+
+    def test_totals_reconcile(self):
+        design = PowerLawDesign([3, 4, 5], "center")
+        assert joint_degree_distribution(design).total_edges() == design.num_edges
+
+    def test_symmetry(self):
+        design = PowerLawDesign([3, 4], "leaf")
+        assert joint_degree_distribution(design).is_symmetric()
+
+    def test_fig4_scale_feasible(self):
+        design = PowerLawDesign([3, 4, 5, 9, 16, 25, 81, 256], "center")
+        joint = joint_degree_distribution(design)
+        assert joint.total_edges() == 1_853_002_140_758
+
+    def test_fig7_scale_guarded(self):
+        design = PowerLawDesign(
+            [3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641], "leaf"
+        )
+        with pytest.raises(DesignError):
+            joint_degree_distribution(design)
+
+
+class TestAssortativity:
+    @pytest.mark.parametrize(
+        "sizes,loop",
+        [([5, 3], None), ([3, 4, 2], "center"), ([2, 3, 4], "leaf")],
+    )
+    def test_matches_networkx(self, sizes, loop):
+        import networkx as nx
+
+        design = PowerLawDesign(sizes, loop)
+        graph = design.realize()
+        G = nx.Graph()
+        G.add_nodes_from(range(graph.num_vertices))
+        for r, c, _ in graph.adjacency:
+            if r < c:
+                G.add_edge(int(r), int(c))
+        ours = float(design_assortativity(design))
+        theirs = nx.degree_assortativity_coefficient(G)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_star_chains_are_disassortative(self):
+        # Hubs connect to leaves: strong negative correlation.
+        assert design_assortativity(PowerLawDesign([5, 3])) < Fraction(-1, 2)
+
+    def test_exact_rational_when_variance_square(self):
+        value = design_assortativity(PowerLawDesign([5, 3]))
+        assert isinstance(value, Fraction)
+        assert -1 <= value <= 1
+
+    def test_degenerate_rejected(self):
+        # K2-chain: every endpoint degree 1 -> zero variance.
+        with pytest.raises(DesignError):
+            design_assortativity(PowerLawDesign([1, 1]))
+
+    def test_trillion_edge_assortativity(self):
+        design = PowerLawDesign([3, 4, 5, 9, 16, 25, 81, 256], "center")
+        value = design_assortativity(design)
+        assert -1 <= value < 0  # power-law hub graphs are disassortative

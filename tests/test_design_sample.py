@@ -1,0 +1,125 @@
+"""Unit tests for sampling never-materialized designs."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.design import (
+    PowerLawDesign,
+    induced_subgraph,
+    sample_edges,
+    sample_edges_final,
+    sample_vertices,
+)
+from repro.errors import DesignError
+
+FIG7 = [3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641]
+
+
+class TestSampleEdges:
+    def test_every_sample_is_a_stored_entry(self, rng):
+        design = PowerLawDesign([3, 4])
+        chain = design.to_chain()
+        for i, j in sample_edges(design, 200, rng=rng):
+            assert chain.entry(i, j) == 1
+
+    def test_uniform_over_entries(self):
+        design = PowerLawDesign([2, 2])
+        stored = {(int(r), int(c)) for r, c, _ in design.realize().adjacency}
+        counts = Counter(
+            sample_edges(design, 16000, rng=np.random.default_rng(0))
+        )
+        assert set(counts) == stored
+        freqs = np.array(list(counts.values()))
+        assert freqs.min() > 0.7 * freqs.mean()
+
+    def test_fig7_scale_sampling(self, rng):
+        design = PowerLawDesign(FIG7, "leaf")
+        chain = design.to_chain()
+        edges = sample_edges(design, 25, rng=rng)
+        assert len(edges) == 25
+        for i, j in edges:
+            assert chain.entry(i, j) == 1
+            assert 0 <= i < design.num_vertices
+
+    def test_accepts_chain_directly(self, rng):
+        chain = PowerLawDesign([3, 4]).to_chain()
+        assert len(sample_edges(chain, 5, rng=rng)) == 5
+
+    def test_zero_count(self, rng):
+        assert sample_edges(PowerLawDesign([3]), 0, rng=rng) == []
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(DesignError):
+            sample_edges(PowerLawDesign([3]), -1, rng=rng)
+
+    def test_bad_input_type(self):
+        with pytest.raises(DesignError):
+            sample_edges("not a design", 1)
+
+
+class TestSampleEdgesFinal:
+    def test_loop_excluded(self):
+        design = PowerLawDesign([2, 2], "center")
+        edges = sample_edges_final(design, 5000, rng=np.random.default_rng(1))
+        assert (0, 0) not in edges
+        assert len(edges) == 5000
+
+    def test_plain_design_passthrough(self, rng):
+        design = PowerLawDesign([3, 4])
+        assert len(sample_edges_final(design, 10, rng=rng)) == 10
+
+    def test_all_samples_in_final_graph(self, rng):
+        design = PowerLawDesign([3, 2], "leaf")
+        final = design.realize().adjacency
+        for i, j in sample_edges_final(design, 300, rng=rng):
+            assert final.get(i, j) == 1
+
+
+class TestSampleVertices:
+    def test_range_and_count(self, rng):
+        design = PowerLawDesign(FIG7, "leaf")
+        vertices = sample_vertices(design, 50, rng=rng)
+        assert len(vertices) == 50
+        assert all(0 <= v < design.num_vertices for v in vertices)
+
+    def test_uniformity_small(self):
+        design = PowerLawDesign([2])
+        counts = Counter(
+            sample_vertices(design, 9000, rng=np.random.default_rng(2))
+        )
+        assert set(counts) == {0, 1, 2}
+        freqs = np.array(list(counts.values()))
+        assert freqs.min() > 0.8 * freqs.mean()
+
+
+class TestInducedSubgraph:
+    def test_matches_dense_submatrix(self):
+        design = PowerLawDesign([3, 4])
+        ids = [0, 1, 5, 19]
+        sub = induced_subgraph(design, ids)
+        dense = design.realize().adjacency.to_dense()
+        np.testing.assert_array_equal(sub.to_dense(), dense[np.ix_(ids, ids)])
+
+    def test_loop_excluded_for_decorated_designs(self):
+        design = PowerLawDesign([3, 2], "center")
+        sub = induced_subgraph(design, [0, 1, 2])
+        final = design.realize().adjacency.to_dense()
+        np.testing.assert_array_equal(sub.to_dense(), final[:3, :3])
+
+    def test_probe_of_fig7_hub_neighborhood(self, rng):
+        design = PowerLawDesign(FIG7, "leaf")
+        # Vertex 0 (all centers) plus two of its guaranteed neighbors.
+        from repro.kron import MixedRadix
+
+        radix = MixedRadix([m + 1 for m in FIG7])
+        n1 = radix.encode([1] * len(FIG7))
+        n2 = radix.encode([1] * (len(FIG7) - 1) + [2])
+        sub = induced_subgraph(design, [0, n1, n2])
+        assert sub.get(0, 1) == 1 and sub.get(0, 2) == 1
+        assert sub.get(1, 2) == 0  # two leaves-of-leaves are not adjacent
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DesignError):
+            induced_subgraph(PowerLawDesign([3]), [0, 0])

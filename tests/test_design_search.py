@@ -1,0 +1,107 @@
+"""Unit tests for the design search utilities."""
+
+import pytest
+
+from repro.design import design_for_scale, has_unique_degree_products, star_size_pool
+from repro.design.search import _prime_base, enumerate_designs
+from repro.errors import DesignSearchError
+
+
+class TestStarSizePool:
+    def test_contains_paper_sizes(self):
+        pool = star_size_pool(15000)
+        for size in (3, 4, 5, 9, 16, 25, 81, 256, 625, 2401, 14641):
+            assert size in pool
+
+    def test_excludes_two_and_one(self):
+        pool = star_size_pool()
+        assert 1 not in pool and 2 not in pool
+
+    def test_sorted_unique(self):
+        pool = star_size_pool(100)
+        assert pool == sorted(set(pool))
+
+    def test_respects_max(self):
+        assert max(star_size_pool(100)) <= 100
+
+
+class TestPrimeBase:
+    def test_prime_powers(self):
+        assert _prime_base(8) == 2
+        assert _prime_base(81) == 3
+        assert _prime_base(7) == 7
+
+    def test_non_prime_power(self):
+        assert _prime_base(12) is None
+        assert _prime_base(1) is None
+
+
+class TestUniqueDegreeProducts:
+    def test_paper_fig5_set(self):
+        assert has_unique_degree_products([3, 4, 5, 9, 16, 25, 81, 256, 625])
+
+    def test_paper_fig7_set_uses_signature_path(self):
+        # 15 sizes -> exhaustive 2^15 check still runs; verify it passes.
+        assert has_unique_degree_products(
+            [3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641]
+        )
+
+    def test_collision_detected(self):
+        # 3 * 4 == 12 collides with {12}.
+        assert not has_unique_degree_products([3, 4, 12])
+
+    def test_duplicate_sizes_collide(self):
+        assert not has_unique_degree_products([5, 5])
+
+    def test_signature_fallback_for_large_lists(self):
+        sizes = [p**k for p in (3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43) for k in (1, 2)]
+        assert len(sizes) > 24
+        assert has_unique_degree_products(sizes)
+
+    def test_signature_fallback_rejects_shared_base(self):
+        sizes = [3**k for k in range(1, 26)]
+        # shares base 3 across all; 3*9 == 27 collides -> must be False.
+        assert not has_unique_degree_products(sizes)
+
+
+class TestDesignForScale:
+    def test_hits_small_target(self):
+        d = design_for_scale(10_000, rel_tol=0.5)
+        assert 5_000 <= d.num_edges <= 20_000
+
+    def test_hits_large_target_without_generation(self):
+        d = design_for_scale(10**12, rel_tol=0.5)
+        assert 0.5 <= d.num_edges / 10**12 <= 2.0
+
+    def test_result_is_exact_power_law(self):
+        d = design_for_scale(10**6, rel_tol=0.5)
+        assert d.is_exact_power_law()
+
+    def test_with_loop_policy(self):
+        d = design_for_scale(10**5, self_loop="center", rel_tol=0.5)
+        assert d.num_triangles > 0
+
+    def test_rejects_tiny_target(self):
+        with pytest.raises(DesignSearchError):
+            design_for_scale(1)
+
+    def test_impossible_tolerance(self):
+        # An absurdly tight tolerance around an unreachable value fails.
+        with pytest.raises(DesignSearchError):
+            design_for_scale(9973, rel_tol=1e-9, pool=[3, 4])
+
+
+class TestEnumerateDesigns:
+    def test_enumerates_valid_combos(self):
+        designs = list(enumerate_designs([3, 4, 5], 2))
+        sizes = {d.star_sizes for d in designs}
+        assert (3, 4) in sizes and (3, 5) in sizes and (4, 5) in sizes
+
+    def test_skips_colliding_combos(self):
+        designs = list(enumerate_designs([3, 4, 12], 2))
+        sizes = {d.star_sizes for d in designs}
+        assert (3, 4) in sizes
+        assert (3, 12) in sizes
+        assert (4, 12) in sizes
+        # the triple (3,4,12) would collide but pairs are fine
+        assert len(list(enumerate_designs([3, 4, 12], 3))) == 0

@@ -1,0 +1,125 @@
+"""Unit tests for exact Kronecker spectra (design.spectrum)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.design import (
+    PowerLawDesign,
+    Spectrum,
+    design_spectrum,
+    edge_count_from_spectrum,
+    star_spectrum,
+    triangle_count_from_spectrum,
+    triangle_count_raw,
+)
+from repro.errors import DesignError
+from repro.graphs import SelfLoop, star_adjacency
+
+
+class TestSpectrumClass:
+    def test_from_values_merges(self):
+        s = Spectrum.from_values([2.0, 2.0, -1.0])
+        assert s.pairs == ((2.0, 2), (-1.0, 1))
+
+    def test_dimension(self):
+        assert Spectrum(((3.0, 2), (0.0, 5))).dimension == 7
+
+    def test_moments(self):
+        s = Spectrum(((2.0, 1), (-2.0, 1)))
+        assert s.moment(2) == pytest.approx(8.0)
+        assert s.moment(3) == pytest.approx(0.0)
+
+    def test_spectral_radius(self):
+        assert Spectrum(((1.0, 1), (-3.0, 2))).spectral_radius == 3.0
+
+    def test_rejects_zero_multiplicity(self):
+        with pytest.raises(DesignError):
+            Spectrum(((1.0, 0),))
+
+    def test_kron_pairs_products(self):
+        a = Spectrum(((2.0, 1), (-2.0, 1)))
+        b = Spectrum(((3.0, 1), (0.0, 2)))
+        c = a.kron(b)
+        assert c.eigenvalue_counts() == {6.0: 1, 0.0: 4, -6.0: 1}
+
+    def test_kron_dimension_multiplies(self):
+        a = star_spectrum(3)
+        b = star_spectrum(5, "center")
+        assert a.kron(b).dimension == a.dimension * b.dimension
+
+
+class TestStarSpectrum:
+    @pytest.mark.parametrize("m_hat", [1, 2, 3, 5, 9, 16])
+    @pytest.mark.parametrize("loop", list(SelfLoop), ids=lambda l: l.value)
+    def test_matches_dense_eigensolver(self, m_hat, loop):
+        spectrum = star_spectrum(m_hat, loop)
+        dense = star_adjacency(m_hat, loop).to_dense().astype(np.float64)
+        expected = sorted(np.linalg.eigvalsh(dense), reverse=True)
+        got = sorted(
+            (v for v, m in spectrum.pairs for _ in range(m)), reverse=True
+        )
+        assert np.allclose(got, expected, atol=1e-8), (m_hat, loop)
+
+    def test_plain_closed_form(self):
+        s = star_spectrum(9)
+        assert s.eigenvalue_counts() == {3.0: 1, 0.0: 8, -3.0: 1}
+
+    def test_center_loop_roots(self):
+        s = star_spectrum(6, "center")
+        disc = math.sqrt(25)
+        assert (1 + disc) / 2 in dict(s.pairs)
+        assert dict(s.pairs)[(1 + disc) / 2] == 1
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(DesignError):
+            star_spectrum(0)
+
+
+class TestDesignSpectrum:
+    def test_dimension_is_vertex_count(self):
+        d = PowerLawDesign([3, 4, 5])
+        assert design_spectrum(d).dimension == d.num_vertices
+
+    def test_plain_chain_has_three_distinct_eigenvalues(self):
+        # Nonzero eigenvalues need a nonzero pick from EVERY factor, so a
+        # plain star chain has exactly +-sqrt(prod m̂) and 0.
+        d = PowerLawDesign([3, 4, 5, 9])
+        s = design_spectrum(d)
+        radius = math.sqrt(3 * 4 * 5 * 9)
+        assert len(s) == 3
+        counts = s.eigenvalue_counts()
+        assert counts[0.0] == d.num_vertices - 2**4
+        assert abs(s.spectral_radius - radius) < 1e-9
+
+    def test_second_moment_is_raw_nnz(self):
+        for loop in (None, "center", "leaf"):
+            d = PowerLawDesign([3, 4, 5], loop)
+            s = design_spectrum(d)
+            assert edge_count_from_spectrum(s) == pytest.approx(d.raw_nnz, rel=1e-9)
+
+    def test_third_moment_is_raw_triangle_product(self):
+        for loop in (None, "center", "leaf"):
+            d = PowerLawDesign([3, 4, 2], loop)
+            s = design_spectrum(d)
+            raw = triangle_count_raw(d.stars)
+            assert s.moment(3) == pytest.approx(raw, rel=1e-9, abs=1e-6)
+            assert triangle_count_from_spectrum(s) == pytest.approx(raw / 6, abs=1e-6)
+
+    def test_matches_dense_eigensolver_on_product(self):
+        d = PowerLawDesign([3, 2], "center")
+        s = design_spectrum(d)
+        dense = d.to_chain().materialize().to_dense().astype(np.float64)
+        expected = sorted(np.linalg.eigvalsh(dense), reverse=True)
+        got = sorted((v for v, m in s.pairs for _ in range(m)), reverse=True)
+        assert np.allclose(got, expected, atol=1e-8)
+
+    def test_fig5_scale_spectrum_is_cheap(self):
+        d = PowerLawDesign([3, 4, 5, 9, 16, 25, 81, 256, 625])
+        s = design_spectrum(d)
+        assert s.dimension == 6_997_208_649_600
+        assert len(s) == 3
+        assert s.spectral_radius == pytest.approx(
+            math.sqrt(3 * 4 * 5 * 9 * 16 * 25 * 81 * 256 * 625)
+        )

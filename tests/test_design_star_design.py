@@ -1,0 +1,125 @@
+"""Unit tests for PowerLawDesign — the core exact-design API."""
+
+import pytest
+
+from repro.design import PowerLawDesign
+from repro.errors import DesignError
+from repro.graphs import SelfLoop
+from repro.validate import validate_design
+
+
+class TestConstruction:
+    def test_defaults(self):
+        d = PowerLawDesign([3, 4])
+        assert d.self_loop is SelfLoop.NONE
+        assert d.num_stars == 2
+
+    def test_string_loop(self):
+        assert PowerLawDesign([3], "center").self_loop is SelfLoop.CENTER
+
+    def test_rejects_empty(self):
+        with pytest.raises(DesignError):
+            PowerLawDesign([])
+
+    def test_rejects_bad_star(self):
+        with pytest.raises(DesignError):
+            PowerLawDesign([3, 0])
+
+    def test_strict_power_law_rejects_collisions(self):
+        # 2 * 2 collides with 4-as-a-degree? sizes (2, 2): subset products
+        # {1, 2, 2, 4} collide.
+        with pytest.raises(DesignError):
+            PowerLawDesign([2, 2], strict_power_law=True)
+
+    def test_strict_power_law_accepts_paper_sets(self):
+        PowerLawDesign([3, 4, 5, 9, 16, 25], strict_power_law=True)
+
+    def test_equality(self):
+        assert PowerLawDesign([3, 4]) == PowerLawDesign([3, 4])
+        assert PowerLawDesign([3, 4]) != PowerLawDesign([3, 4], "center")
+
+
+class TestExactProperties:
+    def test_fig1_values(self):
+        d = PowerLawDesign([5, 3])
+        assert d.num_vertices == 24
+        assert d.num_edges == 60
+        assert d.num_triangles == 0
+        assert d.degree_distribution.to_dict() == {1: 15, 3: 5, 5: 3, 15: 1}
+
+    def test_power_law_coefficient(self):
+        assert PowerLawDesign([5, 3]).power_law_coefficient == 15
+
+    def test_exact_power_law_flag(self):
+        assert PowerLawDesign([5, 3]).is_exact_power_law()
+
+    def test_alpha_one_for_plain_chain(self):
+        assert PowerLawDesign([3, 4, 5]).alpha == pytest.approx(1.0)
+
+    def test_center_loop_counts(self):
+        d = PowerLawDesign([5, 3], "center")
+        assert d.raw_nnz == 11 * 7
+        assert d.num_edges == 76
+        assert d.num_triangles == 15
+        assert d.loop_vertex == 0
+        assert d.loop_degree == 24
+
+    def test_leaf_loop_counts(self):
+        d = PowerLawDesign([5, 3], "leaf")
+        assert d.num_edges == 76
+        assert d.num_triangles == 1
+        assert d.loop_vertex == 23
+        assert d.loop_degree == 4
+
+    def test_no_loop_vertex_for_plain(self):
+        d = PowerLawDesign([5, 3])
+        assert d.loop_vertex is None
+        assert d.loop_degree is None
+
+    def test_degree_distribution_totals_reconcile(self):
+        for loop in (None, "center", "leaf"):
+            d = PowerLawDesign([3, 4, 5], loop)
+            dist = d.degree_distribution
+            assert dist.num_vertices() == d.num_vertices
+            assert dist.total_nnz() == d.num_edges
+
+    def test_max_degree_center(self):
+        d = PowerLawDesign([3, 4], "center")
+        # loop vertex had degree 20 (= num_vertices), now 19.
+        assert d.max_degree == 19
+
+
+class TestRealization:
+    @pytest.mark.parametrize("loop", [None, "center", "leaf"])
+    def test_realize_matches_prediction(self, loop):
+        d = PowerLawDesign([3, 4, 2], loop)
+        report = validate_design(d)
+        assert report.passed, report.to_text()
+
+    def test_realized_graph_has_no_loops(self):
+        g = PowerLawDesign([3, 2], "center").realize()
+        assert g.num_self_loops() == 0
+
+    def test_realized_graph_has_no_empty_vertices(self):
+        g = PowerLawDesign([3, 4, 5]).realize()
+        assert g.num_empty_vertices() == 0
+
+    def test_to_chain_keeps_raw_loops(self):
+        chain = PowerLawDesign([3, 2], "center").to_chain()
+        assert chain.entry(0, 0) == 1  # loop still present pre-removal
+
+    def test_split(self):
+        b, c = PowerLawDesign([3, 4, 5]).split(1)
+        assert b.num_factors == 1
+        assert c.num_factors == 2
+
+
+class TestPaperNote:
+    def test_fig3_prose_typo_documented(self):
+        """The prose says m̂={3,4,5,9,16} for B, but the quoted 530,400
+        vertices require the six-element set including 25."""
+        five = PowerLawDesign([3, 4, 5, 9, 16])
+        six = PowerLawDesign([3, 4, 5, 9, 16, 25])
+        assert five.num_vertices != 530400
+        assert six.num_vertices == 530400
+        assert six.num_edges == 13824000

@@ -1,0 +1,96 @@
+"""Unit tests for exact walk counts."""
+
+import numpy as np
+import pytest
+
+from repro.design import (
+    PowerLawDesign,
+    closed_walks,
+    design_spectrum,
+    total_walks,
+    triangle_count_raw,
+    walk_profile,
+)
+from repro.design.walks import constituent_walk_factors, star_walk_factors
+from repro.errors import DesignError
+from repro.graphs import StarGraph, star_adjacency
+
+FIG7 = [3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641]
+
+
+class TestStarWalkFactors:
+    @pytest.mark.parametrize("m_hat", [1, 2, 3, 7])
+    @pytest.mark.parametrize("loop", [None, "center", "leaf"])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4, 5])
+    def test_matches_dense_power(self, m_hat, loop, k):
+        star = StarGraph(m_hat, loop)
+        dense = star.adjacency().to_dense().astype(np.int64)
+        ak = np.linalg.matrix_power(dense, k)
+        closed, total = star_walk_factors(star, k)
+        assert closed == int(np.trace(ak))
+        assert total == int(ak.sum())
+
+    def test_quotient_independent_of_m_hat_cost(self):
+        # The whole point: m̂ = 14641 costs the same as m̂ = 3.
+        import time
+
+        t0 = time.perf_counter()
+        star_walk_factors(StarGraph(14641, "leaf"), 50)
+        assert time.perf_counter() - t0 < 0.1
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(DesignError):
+            star_walk_factors(StarGraph(3), -1)
+
+
+class TestGenericConstituentFactors:
+    def test_matches_star_closed_form(self):
+        for k in range(5):
+            generic = constituent_walk_factors(star_adjacency(4, "center"), k)
+            assert generic == star_walk_factors(StarGraph(4, "center"), k)
+
+
+class TestDesignWalks:
+    @pytest.mark.parametrize("loop", [None, "center", "leaf"])
+    def test_matches_dense_power_of_raw_product(self, loop):
+        design = PowerLawDesign([3, 4, 2], loop)
+        raw = design.to_chain().materialize().to_dense().astype(np.int64)
+        for k in range(6):
+            ak = np.linalg.matrix_power(raw, k)
+            assert closed_walks(design, k) == int(np.trace(ak)), (loop, k)
+            assert total_walks(design, k) == int(ak.sum()), (loop, k)
+
+    def test_known_identities(self):
+        design = PowerLawDesign([3, 4, 5], "center")
+        profile = walk_profile(design, 3)
+        assert profile[0] == (design.num_vertices, design.num_vertices)
+        assert profile[1][0] == 1  # exactly one raw self-loop
+        assert profile[1][1] == design.raw_nnz
+        assert profile[2][0] == design.raw_nnz  # symmetric 0/1: tr A² = nnz
+        assert profile[3][0] == triangle_count_raw(design.stars)
+
+    def test_agrees_with_spectrum_moments(self):
+        design = PowerLawDesign([3, 4, 2], "leaf")
+        spectrum = design_spectrum(design)
+        for k in range(1, 6):
+            walks = closed_walks(design, k)
+            assert spectrum.moment(k) == pytest.approx(walks, rel=1e-9, abs=1e-6)
+
+    def test_fig7_scale_instant_and_exact(self):
+        import time
+
+        design = PowerLawDesign(FIG7, "leaf")
+        t0 = time.perf_counter()
+        w2 = closed_walks(design, 2)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 1.0
+        assert w2 == design.raw_nnz == design.num_edges + 1
+
+    def test_walk_counts_monotone_in_k_for_connected_designs(self):
+        design = PowerLawDesign([3, 4], "center")
+        totals = [total_walks(design, k) for k in range(1, 6)]
+        assert totals == sorted(totals)
+
+    def test_profile_validates_bounds(self):
+        with pytest.raises(DesignError):
+            walk_profile(PowerLawDesign([3]), -1)

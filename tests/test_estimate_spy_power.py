@@ -1,0 +1,149 @@
+"""Unit tests for resource estimation, spy plots, and matrix powers."""
+
+import numpy as np
+import pytest
+
+from repro.design import (
+    PowerLawDesign,
+    estimate_resources,
+    recommend_cluster,
+)
+from repro.design.estimate import _human
+from repro.errors import DesignError, ShapeError
+from repro.analysis import spy, spy_with_caption
+from repro.graphs import star_adjacency
+from repro.sparse import eye, from_dense, matrix_power, zeros
+from tests.conftest import random_dense
+
+
+class TestResourceEstimate:
+    def test_byte_math(self):
+        d = PowerLawDesign([5, 3])
+        est = estimate_resources(d)
+        assert est.coo_bytes == 60 * 24
+        assert est.csr_bytes == 60 * 16
+        assert est.indptr_bytes == 8 * 25
+
+    def test_fits_in(self):
+        est = estimate_resources(PowerLawDesign([5, 3]))
+        assert est.fits_in(10_000)
+        assert not est.fits_in(10)
+
+    def test_trillion_edge_footprint(self):
+        d = PowerLawDesign([3, 4, 5, 9, 16, 25, 81, 256], "center")
+        est = estimate_resources(d)
+        assert est.coo_bytes == 1_853_002_140_758 * 24  # ~40 TiB
+        assert "TiB" in est.to_text()
+
+    def test_human_units(self):
+        assert _human(512) == "512 B"
+        assert _human(1536) == "1.5 KiB"
+        assert "GiB" in _human(3 * 2**30)
+
+
+class TestClusterRecommendation:
+    def test_small_design_one_rank(self):
+        rec = recommend_cluster(PowerLawDesign([3, 4, 5]), 2**30)
+        assert rec.n_ranks == 1
+
+    def test_trillion_edge_needs_paper_scale_cluster(self):
+        d = PowerLawDesign([3, 4, 5, 9, 16, 25, 81, 256], "center")
+        rec = recommend_cluster(d, 2 * 2**30)
+        # Same order of magnitude as the paper's 41,472 cores.
+        assert 5_000 <= rec.n_ranks <= 100_000
+        assert rec.per_rank_bytes <= 2 * 2**30
+
+    def test_per_rank_budget_respected(self):
+        d = PowerLawDesign([3, 4, 5, 9, 16])
+        for budget in (2**20, 2**24, 2**30):
+            rec = recommend_cluster(d, budget)
+            assert rec.per_rank_bytes <= budget
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(DesignError):
+            recommend_cluster(PowerLawDesign([3, 4, 5]), 100)
+
+    def test_budget_below_one_entry_raises(self):
+        with pytest.raises(DesignError):
+            recommend_cluster(PowerLawDesign([3, 4]), 8)
+
+
+class TestSpy:
+    def test_small_matrix_exact_cells(self):
+        art = spy(eye(4))
+        lines = art.split("\n")
+        assert len(lines) == 2
+        assert lines[0][0] == "▚"  # (0,0) and (1,1) diagonal in one cell
+        assert lines[1][1] == "▚"
+        assert lines[0][1] == " " and lines[1][0] == " "
+
+    def test_empty_matrix_blank(self):
+        art = spy(zeros((4, 4)))
+        assert set(art.replace("\n", "")) <= {" "}
+
+    def test_large_matrix_binned_to_width(self):
+        big = star_adjacency(999)
+        art = spy(big, max_width=16)
+        lines = art.split("\n")
+        assert max(len(line) for line in lines) <= 16
+
+    def test_dense_matrix_full_blocks(self):
+        art = spy(from_dense(np.ones((4, 4), dtype=np.int64)))
+        assert set(art.replace("\n", "")) == {"█"}
+
+    def test_caption_and_footer(self):
+        text = spy_with_caption(eye(3), "identity")
+        assert text.startswith("identity\n")
+        assert "nnz 3" in text
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ShapeError):
+            spy(zeros((0, 5)))
+
+    def test_fig1_structure_has_two_blocks(self):
+        from repro.kron import component_permutation, kron
+
+        c = kron(star_adjacency(5), star_adjacency(3))
+        p = c.permuted(component_permutation(c))
+        art = spy(p)
+        lines = art.split("\n")
+        # Block-diagonal: the first row's tail and the last row's head
+        # (the off-diagonal corners) are empty.
+        assert set(lines[0][-3:]) <= {" "}
+        assert set(lines[-1][:3]) <= {" "}
+
+
+class TestMatrixPower:
+    def test_power_zero_is_identity(self):
+        m = from_dense(np.array([[0, 1], [1, 0]], dtype=np.int64))
+        assert matrix_power(m, 0).equal(eye(2))
+
+    def test_power_one_is_self(self, rng):
+        m = from_dense(random_dense(rng, 5, 5))
+        assert matrix_power(m, 1).equal(m)
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_matches_dense_power(self, rng, k):
+        A = random_dense(rng, 4, 4) % 2  # keep entries small
+        got = matrix_power(from_dense(A), k).to_dense()
+        np.testing.assert_array_equal(got, np.linalg.matrix_power(A, k))
+
+    def test_walk_counts_match_spectrum_moment(self):
+        # trace(A^k) == sum lambda^k — spectrum as independent witness.
+        from repro.design import star_spectrum
+        from repro.sparse import trace
+
+        a = star_adjacency(4, "center")
+        spectrum = star_spectrum(4, "center")
+        for k in (1, 2, 3, 4):
+            assert trace(matrix_power(a, k)) == pytest.approx(
+                spectrum.moment(k), rel=1e-9
+            )
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            matrix_power(zeros((2, 3)), 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            matrix_power(eye(2), -1)

@@ -1,0 +1,193 @@
+"""Failure injection: prove the validators catch every fault class.
+
+The paper's pitch is *validation* — so the validation layer must fail
+loudly when generation is wrong, not just pass when it is right.  Each
+test corrupts one specific thing (a dropped edge, a duplicated block, a
+stray self-loop, a tampered file, a wrong prediction) and asserts the
+corresponding check reports it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.design import DegreeDistribution, PowerLawDesign
+from repro.graphs import Graph
+from repro.parallel import (
+    ParallelKroneckerGenerator,
+    VirtualCluster,
+    generate_to_disk,
+    read_streamed_degree_distribution,
+)
+from repro.parallel.generator import RankBlock
+from repro.sparse.coo import COOMatrix
+from repro.validate import (
+    audit_graph_structure,
+    audit_partition,
+    check_degree_distribution,
+    check_triangles,
+    validate_design,
+)
+
+DESIGN = PowerLawDesign([3, 4, 5], "center")
+
+
+def drop_one_edge(graph: Graph) -> Graph:
+    """Remove one undirected edge (both stored directions)."""
+    coo = graph.adjacency
+    # Pick the first off-diagonal entry and drop it with its mirror.
+    off = np.flatnonzero(coo.rows != coo.cols)[0]
+    i, j = int(coo.rows[off]), int(coo.cols[off])
+    return Graph(coo.with_entry(i, j, 0).with_entry(j, i, 0))
+
+
+def drop_one_direction(graph: Graph) -> Graph:
+    """Remove a single stored direction, breaking symmetry."""
+    coo = graph.adjacency
+    keep = np.ones(coo.nnz, dtype=bool)
+    keep[0] = False
+    return Graph(
+        COOMatrix(coo.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep], _canonical=True)
+    )
+
+
+class TestDegreeCheckCatches:
+    def test_dropped_edge(self):
+        corrupted = drop_one_edge(DESIGN.realize())
+        check = check_degree_distribution(corrupted, DESIGN.degree_distribution)
+        assert not check.exact_match
+        assert len(check.mismatches) >= 1
+
+    def test_extra_edge(self):
+        graph = DESIGN.realize()
+        coo = graph.adjacency
+        # Add a bogus edge between two previously non-adjacent vertices.
+        bogus = Graph(coo.with_entry(1, 2, 1).with_entry(2, 1, 1))
+        check = check_degree_distribution(bogus, DESIGN.degree_distribution)
+        assert not check.exact_match
+
+    def test_wrong_prediction_detected_symmetrically(self):
+        graph = DESIGN.realize()
+        wrong = DegreeDistribution(
+            {d: c for d, c in DESIGN.degree_distribution.items()}
+        ).shift_vertex(1, 2)
+        assert not check_degree_distribution(graph, wrong).exact_match
+
+
+class TestTriangleCheckCatches:
+    def test_dropped_edge_changes_triangles(self):
+        corrupted = drop_one_edge(DESIGN.realize())
+        check = check_triangles(corrupted, DESIGN.num_triangles)
+        assert not check.exact_match
+
+    def test_wrong_prediction(self):
+        check = check_triangles(DESIGN.realize(), DESIGN.num_triangles + 1)
+        assert not check.exact_match
+        assert "MISMATCH" in check.to_text()
+
+    def test_asymmetric_graph_reported_not_raised(self):
+        # Validation must report a corrupted (asymmetric) graph, never
+        # crash on it.
+        broken = drop_one_direction(DESIGN.realize())
+        check = check_triangles(broken, DESIGN.num_triangles)
+        assert not check.exact_match
+        assert check.error is not None
+        assert "UNCOUNTABLE" in check.to_text()
+
+
+class TestStructureAuditCatches:
+    def test_leftover_self_loop(self):
+        # Simulate forgetting the loop-removal step.
+        raw = DESIGN.to_chain().materialize()
+        audit = audit_graph_structure(Graph(raw))
+        assert not audit.clean
+        assert audit.num_self_loops == 1
+
+    def test_asymmetry(self):
+        coo = DESIGN.realize().adjacency
+        broken = Graph(coo.with_entry(int(coo.rows[0]), int(coo.cols[0]), 0))
+        audit = audit_graph_structure(broken)
+        assert not audit.symmetric
+
+    def test_empty_vertices(self):
+        from repro.sparse import from_edges
+
+        audit = audit_graph_structure(Graph(from_edges(10, [(0, 1)])))
+        assert audit.num_empty_vertices == 8
+        assert not audit.clean
+
+
+class TestPartitionAuditCatches:
+    def _generator(self):
+        return ParallelKroneckerGenerator(DESIGN.to_chain(), VirtualCluster(4))
+
+    def test_missing_block(self):
+        gen = self._generator()
+        blocks = gen.generate_blocks()
+        audit = audit_partition(gen.plan, blocks[:-1], DESIGN.raw_nnz)
+        assert not audit.complete
+        assert audit.total_nnz < audit.expected_nnz
+
+    def test_duplicated_block(self):
+        gen = self._generator()
+        blocks = gen.generate_blocks()
+        dup = blocks + [blocks[0]]
+        audit = audit_partition(gen.plan, dup, DESIGN.raw_nnz)
+        assert not audit.disjoint
+        assert not audit.complete
+
+    def test_imbalanced_blocks_flagged(self):
+        gen = self._generator()
+        blocks = gen.generate_blocks()
+        # Replace rank 0's block with a half-truncated impostor.
+        b0 = blocks[0]
+        half = b0.nnz // 2
+        truncated = RankBlock(
+            rank=0,
+            block=COOMatrix(
+                b0.block.shape,
+                b0.block.rows[:half],
+                b0.block.cols[:half],
+                b0.block.vals[:half],
+                _canonical=True,
+            ),
+            col_base=b0.col_base,
+            c_cols=b0.c_cols,
+            elapsed_s=0.0,
+        )
+        tampered = [truncated] + list(blocks[1:])
+        audit = audit_partition(gen.plan, tampered, DESIGN.raw_nnz)
+        assert not audit.complete
+        assert not audit.balanced
+
+
+class TestStreamedValidationCatches:
+    def test_truncated_rank_file(self, tmp_path):
+        summary = generate_to_disk(DESIGN, 4, tmp_path)
+        victim = summary.files[2]
+        lines = open(victim).read().splitlines()
+        with open(victim, "w") as fh:
+            fh.write("\n".join(lines[:-3]) + "\n")
+        measured = read_streamed_degree_distribution(
+            summary.files, DESIGN.num_vertices
+        )
+        check = check_degree_distribution(measured, DESIGN.degree_distribution)
+        assert not check.exact_match
+
+    def test_duplicated_rank_file(self, tmp_path):
+        summary = generate_to_disk(DESIGN, 4, tmp_path)
+        files = list(summary.files) + [summary.files[0]]
+        measured = read_streamed_degree_distribution(files, DESIGN.num_vertices)
+        assert measured != DESIGN.degree_distribution
+
+
+class TestEndToEndReportCatches:
+    def test_report_flags_wrong_graph(self):
+        report = validate_design(DESIGN, graph=PowerLawDesign([3, 4, 5], "leaf").realize())
+        assert not report.passed
+        # Degree distribution and triangles both disagree.
+        assert not report.triangle_check.exact_match
+
+    def test_report_flags_corrupted_graph(self):
+        report = validate_design(DESIGN, graph=drop_one_edge(DESIGN.realize()))
+        assert not report.passed
+        assert not report.edges_match

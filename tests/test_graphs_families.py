@@ -1,0 +1,98 @@
+"""Unit tests for the classic graph families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.graphs import (
+    Graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+)
+from repro.sparse.linalg import degrees
+
+
+class TestCompleteBipartite:
+    def test_star_special_case(self):
+        from repro.graphs import star_adjacency
+
+        # K_{1,m̂} with the center first is exactly our star layout.
+        assert complete_bipartite(1, 4).equal(star_adjacency(4))
+
+    def test_counts(self):
+        m = complete_bipartite(2, 3)
+        assert m.shape == (5, 5)
+        assert m.nnz == 2 * 2 * 3
+
+    def test_no_intra_side_edges(self):
+        m = complete_bipartite(2, 3)
+        dense = m.to_dense()
+        assert dense[:2, :2].sum() == 0
+        assert dense[2:, 2:].sum() == 0
+
+    def test_symmetric(self):
+        assert complete_bipartite(3, 4).is_symmetric()
+
+    def test_no_triangles(self):
+        assert Graph(complete_bipartite(3, 4)).num_triangles() == 0
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(DesignError):
+            complete_bipartite(0, 3)
+
+
+class TestPath:
+    def test_degrees(self):
+        np.testing.assert_array_equal(degrees(path_graph(4)), [1, 2, 2, 1])
+
+    def test_single_vertex(self):
+        assert path_graph(1).nnz == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(DesignError):
+            path_graph(0)
+
+
+class TestCycle:
+    def test_all_degree_two(self):
+        np.testing.assert_array_equal(degrees(cycle_graph(5)), [2] * 5)
+
+    def test_triangle_is_c3(self):
+        assert Graph(cycle_graph(3)).num_triangles() == 1
+
+    def test_c4_has_no_triangles(self):
+        assert Graph(cycle_graph(4)).num_triangles() == 0
+
+    def test_rejects_short_cycle(self):
+        with pytest.raises(DesignError):
+            cycle_graph(2)
+
+
+class TestComplete:
+    def test_k4_triangle_count(self):
+        assert Graph(complete_graph(4)).num_triangles() == 4
+
+    def test_kn_triangles_binomial(self):
+        n = 6
+        assert Graph(complete_graph(n)).num_triangles() == n * (n - 1) * (n - 2) // 6
+
+    def test_k1(self):
+        assert complete_graph(1).nnz == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(DesignError):
+            complete_graph(0)
+
+
+class TestEmpty:
+    def test_empty(self):
+        g = Graph(empty_graph(5))
+        assert g.num_edges == 0
+        assert g.num_empty_vertices() == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(DesignError):
+            empty_graph(-1)

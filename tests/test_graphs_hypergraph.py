@@ -1,0 +1,93 @@
+"""Unit tests for multi-graph / hyper-graph incidence support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError, ShapeError
+from repro.graphs import (
+    adjacency_from_incidence,
+    hyperedge_sizes,
+    hypergraph_clique_expansion,
+    hypergraph_incidence,
+    multigraph_adjacency,
+    multigraph_incidence,
+    vertex_hyperdegrees,
+)
+from repro.kron import kron
+
+
+class TestMultigraph:
+    def test_multiplicity_in_adjacency(self):
+        eout, ein = multigraph_incidence(3, [(0, 1), (0, 1), (1, 2)])
+        a = multigraph_adjacency(eout, ein)
+        assert a.get(0, 1) == 2
+        assert a.get(1, 2) == 1
+
+    def test_one_row_per_occurrence(self):
+        eout, _ = multigraph_incidence(2, [(0, 1)] * 4)
+        assert eout.shape == (4, 2)
+        np.testing.assert_array_equal(eout.row_nnz(), [1, 1, 1, 1])
+
+    def test_empty_edge_list(self):
+        eout, ein = multigraph_incidence(3, [])
+        assert eout.shape == (0, 3)
+        assert multigraph_adjacency(eout, ein).nnz == 0
+
+    def test_rejects_bad_endpoint(self):
+        with pytest.raises(DesignError):
+            multigraph_incidence(2, [(0, 5)])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ShapeError):
+            multigraph_incidence(3, np.array([[0, 1, 2]]))
+
+    def test_kron_of_multigraph_incidence(self):
+        # Section IV-D composes incidence matrices with kron; the
+        # projection of the product equals the kron of the projections.
+        eo1, ei1 = multigraph_incidence(2, [(0, 1), (0, 1)])
+        eo2, ei2 = multigraph_incidence(2, [(1, 0)])
+        lhs = adjacency_from_incidence(kron(eo1, eo2), kron(ei1, ei2))
+        rhs = kron(
+            adjacency_from_incidence(eo1, ei1), adjacency_from_incidence(eo2, ei2)
+        )
+        assert lhs.equal(rhs)
+
+
+class TestHypergraph:
+    def test_incidence_shape(self):
+        e = hypergraph_incidence(5, [[0, 1, 2], [2, 3]])
+        assert e.shape == (2, 5)
+        np.testing.assert_array_equal(hyperedge_sizes(e), [3, 2])
+        np.testing.assert_array_equal(vertex_hyperdegrees(e), [1, 1, 2, 1, 0])
+
+    def test_duplicate_members_deduped(self):
+        e = hypergraph_incidence(3, [[0, 0, 1]])
+        assert hyperedge_sizes(e).tolist() == [2]
+
+    def test_rejects_empty_hyperedge(self):
+        with pytest.raises(DesignError):
+            hypergraph_incidence(3, [[]])
+
+    def test_rejects_out_of_range_member(self):
+        with pytest.raises(DesignError):
+            hypergraph_incidence(2, [[0, 7]])
+
+    def test_clique_expansion_counts_comemberships(self):
+        e = hypergraph_incidence(4, [[0, 1, 2], [1, 2, 3]])
+        a = hypergraph_clique_expansion(e)
+        assert a.get(1, 2) == 2  # together in both hyper-edges
+        assert a.get(0, 3) == 0
+        assert a.get(0, 0) == 0  # diagonal dropped
+
+    def test_clique_expansion_with_loops_has_hyperdegrees(self):
+        e = hypergraph_incidence(3, [[0, 1], [0, 2]])
+        a = hypergraph_clique_expansion(e, include_loops=True)
+        assert a.get(0, 0) == 2
+
+    def test_pairwise_hypergraph_equals_plain_graph(self):
+        # Hyper-edges of size 2 are ordinary edges: expansion == adjacency.
+        from repro.sparse import from_edges
+
+        edges = [(0, 1), (1, 2), (0, 2)]
+        e = hypergraph_incidence(3, [list(p) for p in edges])
+        assert hypergraph_clique_expansion(e).equal(from_edges(3, edges))

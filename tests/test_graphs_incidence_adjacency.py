@@ -1,0 +1,114 @@
+"""Unit tests for incidence matrices, the Graph wrapper, and degree maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphs import (
+    Graph,
+    adjacency_from_incidence,
+    complete_graph,
+    cycle_graph,
+    degree_distribution_of,
+    degree_map_from_vector,
+    distribution_total_nnz,
+    distribution_total_vertices,
+    incidence_matrices,
+    star_adjacency,
+)
+from repro.kron import kron
+from repro.sparse import from_dense, from_edges, zeros
+from tests.conftest import random_dense
+
+
+class TestIncidence:
+    @pytest.mark.parametrize(
+        "matrix",
+        [star_adjacency(4), cycle_graph(5), complete_graph(4), star_adjacency(3, "center")],
+        ids=["star", "cycle", "complete", "star-loop"],
+    )
+    def test_reconstruction(self, matrix):
+        eout, ein = incidence_matrices(matrix)
+        assert adjacency_from_incidence(eout, ein).equal(matrix)
+
+    def test_edge_rows_one_hot(self):
+        eout, ein = incidence_matrices(star_adjacency(3))
+        np.testing.assert_array_equal(eout.row_nnz(), np.ones(6, dtype=np.int64))
+        np.testing.assert_array_equal(ein.row_nnz(), np.ones(6, dtype=np.int64))
+
+    def test_kronecker_incidence_construction(self):
+        # Paper Section IV-D: Eout = kron(Ek,out), Ein = kron(Ek,in)
+        # reconstructs the Kronecker product adjacency matrix.
+        a, b = star_adjacency(4), star_adjacency(2, "center")
+        ea_out, ea_in = incidence_matrices(a)
+        eb_out, eb_in = incidence_matrices(b)
+        eout = kron(ea_out, eb_out)
+        ein = kron(ea_in, eb_in)
+        assert adjacency_from_incidence(eout, ein).equal(kron(a, b))
+
+    def test_weighted_adjacency_reconstructs(self, rng):
+        w = from_dense(random_dense(rng, 5, 5))
+        eout, ein = incidence_matrices(w)
+        assert adjacency_from_incidence(eout, ein).equal(w)
+
+    def test_edge_count_mismatch_rejected(self):
+        eout, _ = incidence_matrices(star_adjacency(3))
+        _, ein = incidence_matrices(star_adjacency(4))
+        with pytest.raises(ShapeError):
+            adjacency_from_incidence(eout, ein)
+
+    def test_incidence_of_empty_graph(self):
+        eout, ein = incidence_matrices(zeros((3, 3)))
+        assert eout.shape == (0, 3)
+        assert adjacency_from_incidence(eout, ein).nnz == 0
+
+
+class TestGraphWrapper:
+    def test_counts(self):
+        g = Graph(star_adjacency(5))
+        assert g.num_vertices == 6
+        assert g.num_edges == 10
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            Graph(zeros((2, 3)))
+
+    def test_degree_distribution_includes_isolated(self):
+        g = Graph(from_edges(4, [(0, 1)]))
+        assert g.degree_distribution() == {0: 2, 1: 2}
+
+    def test_self_loop_audit(self):
+        g = Graph(star_adjacency(3, "center"))
+        assert g.num_self_loops() == 1
+
+    def test_empty_vertex_audit(self):
+        g = Graph(from_edges(5, [(0, 1)]))
+        assert g.num_empty_vertices() == 3
+
+    def test_max_degree(self):
+        assert Graph(star_adjacency(7)).max_degree() == 7
+
+    def test_equality(self):
+        assert Graph(star_adjacency(3)) == Graph(star_adjacency(3))
+        assert Graph(star_adjacency(3)) != Graph(star_adjacency(4))
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph(star_adjacency(3)))
+
+    def test_triangle_raw_not_multiple_of_six_returned_as_float(self):
+        # A graph with a self-loop makes the raw formula non-divisible.
+        g = Graph(from_edges(2, [(0, 0), (0, 1)]))
+        raw = g.triangle_formula_raw()
+        assert raw % 6 != 0
+        assert g.num_triangles() == pytest.approx(raw / 6)
+
+
+class TestDegreeHelpers:
+    def test_degree_map_from_vector(self):
+        assert degree_map_from_vector(np.array([1, 1, 3])) == {1: 2, 3: 1}
+
+    def test_distribution_totals(self):
+        dist = degree_distribution_of(star_adjacency(4))
+        assert distribution_total_vertices(dist) == 5
+        assert distribution_total_nnz(dist) == 8

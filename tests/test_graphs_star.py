@@ -1,0 +1,133 @@
+"""Unit tests for star constituents."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.graphs import Graph, SelfLoop, StarGraph, star_adjacency
+from repro.sparse.linalg import degrees
+
+
+class TestSelfLoopCoercion:
+    def test_from_string(self):
+        assert SelfLoop.coerce("center") is SelfLoop.CENTER
+        assert SelfLoop.coerce("leaf") is SelfLoop.LEAF
+        assert SelfLoop.coerce("none") is SelfLoop.NONE
+
+    def test_from_none(self):
+        assert SelfLoop.coerce(None) is SelfLoop.NONE
+
+    def test_from_enum(self):
+        assert SelfLoop.coerce(SelfLoop.LEAF) is SelfLoop.LEAF
+
+    def test_invalid(self):
+        with pytest.raises(DesignError):
+            SelfLoop.coerce("corner")
+
+
+class TestStarScalarProperties:
+    def test_vertices(self):
+        assert StarGraph(5).num_vertices == 6
+
+    def test_nnz_plain(self):
+        assert StarGraph(5).nnz == 10
+
+    def test_nnz_with_loop(self):
+        assert StarGraph(5, "center").nnz == 11
+        assert StarGraph(5, "leaf").nnz == 11
+
+    def test_rejects_empty_star(self):
+        with pytest.raises(DesignError):
+            StarGraph(0)
+
+    def test_alpha_is_one(self):
+        assert StarGraph(7).alpha == 1.0
+
+    def test_max_degree(self):
+        assert StarGraph(5).max_degree == 5
+        assert StarGraph(5, "center").max_degree == 6
+        assert StarGraph(5, "leaf").max_degree == 5
+        assert StarGraph(1, "leaf").max_degree == 2
+
+
+class TestStarDegreeMap:
+    def test_plain(self):
+        assert StarGraph(5).degree_map() == {1: 5, 5: 1}
+
+    def test_center_loop(self):
+        assert StarGraph(5, "center").degree_map() == {1: 5, 6: 1}
+
+    def test_leaf_loop(self):
+        assert StarGraph(5, "leaf").degree_map() == {1: 4, 2: 1, 5: 1}
+
+    def test_m_hat_one_collapses(self):
+        assert StarGraph(1).degree_map() == {1: 2}
+
+    def test_m_hat_two_leaf_collision(self):
+        # leaf-loop star with m̂=2: center degree 2 collides with looped leaf.
+        assert StarGraph(2, "leaf").degree_map() == {1: 1, 2: 2}
+
+    def test_degree_map_matches_adjacency(self):
+        for m_hat in (1, 2, 3, 7):
+            for loop in SelfLoop:
+                star = StarGraph(m_hat, loop)
+                measured = {}
+                for d in degrees(star.adjacency()):
+                    measured[int(d)] = measured.get(int(d), 0) + 1
+                assert star.degree_map() == measured, (m_hat, loop)
+
+
+class TestStarTriangleFactor:
+    def test_plain_is_zero(self):
+        assert StarGraph(9).triangle_factor == 0
+
+    def test_center_closed_form(self):
+        assert StarGraph(5, "center").triangle_factor == 16
+
+    def test_leaf_is_constant_four(self):
+        assert StarGraph(3, "leaf").triangle_factor == 4
+        assert StarGraph(100, "leaf").triangle_factor == 4
+
+    @pytest.mark.parametrize("m_hat", [1, 2, 3, 5, 9, 16])
+    @pytest.mark.parametrize("loop", list(SelfLoop), ids=lambda l: l.value)
+    def test_closed_form_matches_matrix_formula(self, m_hat, loop):
+        star = StarGraph(m_hat, loop)
+        g = Graph(star.adjacency())
+        assert star.triangle_factor == g.triangle_formula_raw()
+
+
+class TestStarAdjacency:
+    def test_structure(self):
+        a = star_adjacency(3).to_dense()
+        expected = np.array(
+            [[0, 1, 1, 1], [1, 0, 0, 0], [1, 0, 0, 0], [1, 0, 0, 0]]
+        )
+        np.testing.assert_array_equal(a, expected)
+
+    def test_center_loop_position(self):
+        a = star_adjacency(3, "center")
+        assert a.get(0, 0) == 1
+
+    def test_leaf_loop_position(self):
+        a = star_adjacency(3, "leaf")
+        assert a.get(3, 3) == 1
+
+    def test_symmetric(self):
+        for loop in SelfLoop:
+            assert star_adjacency(4, loop).is_symmetric()
+
+    def test_loop_vertex(self):
+        assert StarGraph(4).loop_vertex() is None
+        assert StarGraph(4, "center").loop_vertex() == 0
+        assert StarGraph(4, "leaf").loop_vertex() == 4
+
+    def test_invalid_m_hat(self):
+        with pytest.raises(DesignError):
+            star_adjacency(0)
+
+    def test_star_is_power_law_with_alpha_one(self):
+        # The paper's Section III observation: star degree distribution
+        # has n(1) = m̂ and n(m̂) = 1, which sits on n(d) = m̂/d.
+        star = StarGraph(9)
+        dm = star.degree_map()
+        assert dm[1] * 1 == dm[9] * 9 == 9

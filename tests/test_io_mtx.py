@@ -1,0 +1,102 @@
+"""Unit tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError
+from repro.graphs import star_adjacency
+from repro.io.mtx import read_mtx, roundtrip_check, write_mtx
+from repro.sparse import from_dense
+from tests.conftest import random_dense
+
+
+class TestWriteRead:
+    def test_general_integer_roundtrip(self, tmp_path, rng):
+        m = from_dense(random_dense(rng, 7, 5))
+        path = tmp_path / "g.mtx"
+        count = write_mtx(path, m)
+        assert count == m.nnz
+        assert read_mtx(path).equal(m)
+
+    def test_symmetric_roundtrip_halves_storage(self, tmp_path):
+        m = star_adjacency(6)
+        path = tmp_path / "s.mtx"
+        count = write_mtx(path, m, symmetric=True)
+        assert count == m.nnz // 2
+        assert read_mtx(path).equal(m)
+
+    def test_symmetric_with_diagonal(self, tmp_path):
+        m = star_adjacency(4, "center")
+        path = tmp_path / "d.mtx"
+        write_mtx(path, m, symmetric=True)
+        assert read_mtx(path).equal(m)
+
+    def test_symmetric_flag_validated(self, tmp_path, rng):
+        from repro.sparse import from_triples
+
+        asym = from_triples((3, 3), [0], [1], [1])
+        with pytest.raises(IOFormatError):
+            write_mtx(tmp_path / "x.mtx", asym, symmetric=True)
+
+    def test_real_values(self, tmp_path):
+        m = from_dense(np.array([[0.5, 0.0], [0.0, 1.25]]))
+        path = tmp_path / "r.mtx"
+        write_mtx(path, m)
+        out = read_mtx(path)
+        assert out.equal(m)
+        assert np.issubdtype(out.dtype, np.floating)
+
+    def test_roundtrip_check_helper(self, tmp_path):
+        assert roundtrip_check(star_adjacency(5), tmp_path / "rt.mtx")
+
+
+class TestReadForeignFiles:
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 2\n2 1\n"
+        )
+        m = read_mtx(path)
+        assert m.get(0, 1) == 1 and m.get(1, 0) == 1
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "% a comment\n% another\n"
+            "2 2 1\n1 1 7\n"
+        )
+        assert read_mtx(path).get(0, 0) == 7
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a header\n1 1 0\n")
+        with pytest.raises(IOFormatError):
+            read_mtx(path)
+
+    def test_unsupported_field(self, tmp_path):
+        path = tmp_path / "cx.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+        with pytest.raises(IOFormatError):
+            read_mtx(path)
+
+    def test_unsupported_symmetry(self, tmp_path):
+        path = tmp_path / "sk.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate integer skew-symmetric\n1 1 0\n")
+        with pytest.raises(IOFormatError):
+            read_mtx(path)
+
+    def test_malformed_size_line(self, tmp_path):
+        path = tmp_path / "sz.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate integer general\nx y z\n")
+        with pytest.raises(IOFormatError):
+            read_mtx(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "en.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1\n"
+        )
+        with pytest.raises(IOFormatError):
+            read_mtx(path)

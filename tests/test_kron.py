@@ -1,0 +1,230 @@
+"""Unit tests for the Kronecker machinery (sparse, lazy, permutations)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphs import Graph, star_adjacency
+from repro.kron import (
+    KroneckerChain,
+    MixedRadix,
+    component_permutation,
+    connected_components,
+    kron,
+    kron_chain,
+)
+from repro.semiring import BOOL_OR_AND, MIN_PLUS
+from repro.sparse import from_dense, from_edges, zeros
+from tests.conftest import random_dense
+
+
+class TestSparseKron:
+    def test_matches_numpy(self, rng):
+        for _ in range(20):
+            n1, m1, n2, m2 = rng.integers(1, 6, 4)
+            A = random_dense(rng, int(n1), int(m1))
+            B = random_dense(rng, int(n2), int(m2))
+            np.testing.assert_array_equal(
+                kron(from_dense(A), from_dense(B)).to_dense(), np.kron(A, B)
+            )
+
+    def test_empty_operand(self, rng):
+        A = from_dense(random_dense(rng, 3, 3))
+        out = kron(A, zeros((2, 2)))
+        assert out.shape == (6, 6)
+        assert out.nnz == 0
+
+    def test_nnz_multiplies(self, rng):
+        A = from_dense(random_dense(rng, 4, 4))
+        B = from_dense(random_dense(rng, 3, 3))
+        assert kron(A, B).nnz == A.nnz * B.nnz
+
+    def test_result_is_canonical(self, rng):
+        A = from_dense(random_dense(rng, 4, 4))
+        B = from_dense(random_dense(rng, 3, 3))
+        out = kron(A, B)
+        keys = out.rows * out.shape[1] + out.cols
+        assert (np.diff(keys) > 0).all()
+
+    def test_boolean_semiring(self):
+        A = np.array([[True, False], [True, True]])
+        B = np.array([[True]])
+        out = kron(from_dense(A), from_dense(B), BOOL_OR_AND)
+        np.testing.assert_array_equal(out.to_dense(), A)
+
+    def test_min_plus_kron_adds(self):
+        A = from_dense(np.array([[2.0]]), semiring=MIN_PLUS)
+        B = from_dense(np.array([[3.0, 5.0]]), semiring=MIN_PLUS)
+        out = kron(A, B, MIN_PLUS)
+        np.testing.assert_array_equal(out.vals, [5.0, 7.0])
+
+    def test_associativity(self, rng):
+        A, B, C = (from_dense(random_dense(rng, 3, 3)) for _ in range(3))
+        assert kron(kron(A, B), C).equal(kron(A, kron(B, C)))
+
+    def test_kron_chain_fold(self, rng):
+        mats = [from_dense(random_dense(rng, 2, 2)) for _ in range(4)]
+        expected = mats[0].to_dense()
+        for m in mats[1:]:
+            expected = np.kron(expected, m.to_dense())
+        np.testing.assert_array_equal(kron_chain(mats).to_dense(), expected)
+
+    def test_kron_chain_single(self, rng):
+        A = from_dense(random_dense(rng, 3, 3))
+        assert kron_chain([A]).equal(A)
+
+    def test_kron_chain_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            kron_chain([])
+
+    def test_mixed_product_identity(self, rng):
+        A, B, C, D = (from_dense(random_dense(rng, 3, 3)) for _ in range(4))
+        lhs = kron(A, B).matmul(kron(C, D))
+        rhs = kron(A.matmul(C), B.matmul(D))
+        assert lhs.equal(rhs)
+
+
+class TestMixedRadix:
+    def test_roundtrip(self):
+        mr = MixedRadix([4, 3, 5])
+        for flat in range(60):
+            assert mr.encode(mr.decode(flat)) == flat
+
+    def test_total(self):
+        assert MixedRadix([4, 3, 5]).total == 60
+
+    def test_most_significant_first(self):
+        mr = MixedRadix([2, 10])
+        assert mr.encode([1, 3]) == 13
+
+    def test_huge_bases_exact(self):
+        bases = [10**9 + 7] * 5
+        mr = MixedRadix(bases)
+        digits = tuple(b - 1 for b in bases)
+        assert mr.decode(mr.encode(digits)) == digits
+        assert mr.total == (10**9 + 7) ** 5
+
+    def test_encode_range_check(self):
+        with pytest.raises(IndexError):
+            MixedRadix([3]).encode([3])
+
+    def test_decode_range_check(self):
+        with pytest.raises(IndexError):
+            MixedRadix([3]).decode(3)
+
+    def test_digit_count_check(self):
+        with pytest.raises(ShapeError):
+            MixedRadix([3, 3]).encode([1])
+
+    def test_rejects_empty_and_bad_bases(self):
+        with pytest.raises(ShapeError):
+            MixedRadix([])
+        with pytest.raises(ShapeError):
+            MixedRadix([0, 2])
+
+
+class TestKroneckerChain:
+    def make(self):
+        return KroneckerChain([star_adjacency(5), star_adjacency(3), star_adjacency(2)])
+
+    def test_exact_metadata(self):
+        ch = self.make()
+        assert ch.num_vertices == 6 * 4 * 3
+        assert ch.nnz == 10 * 6 * 4
+
+    def test_materialize_matches_fold(self):
+        ch = self.make()
+        expected = kron_chain([star_adjacency(5), star_adjacency(3), star_adjacency(2)])
+        assert ch.materialize().equal(expected)
+
+    def test_entry_matches_materialized(self):
+        ch = self.make()
+        dense = ch.materialize().to_dense()
+        n = ch.num_vertices
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            i, j = rng.integers(0, n, 2)
+            assert ch.entry(int(i), int(j)) == dense[i, j]
+
+    def test_degree_matches_materialized(self):
+        ch = self.make()
+        g = Graph(ch.materialize())
+        dv = g.degree_vector()
+        for i in range(ch.num_vertices):
+            assert ch.degree_of(i) == dv[i]
+
+    def test_row_matches_materialized(self):
+        ch = self.make()
+        dense = ch.materialize().to_dense()
+        for i in (0, 1, 17, ch.num_vertices - 1):
+            cols, vals = ch.row(i)
+            row = np.zeros(ch.num_vertices, dtype=np.int64)
+            row[[int(c) for c in cols]] = [int(v) for v in vals]
+            np.testing.assert_array_equal(row, dense[i])
+
+    def test_split_concat_roundtrip(self):
+        ch = self.make()
+        b, c = ch.split(1)
+        assert (b * c).materialize().equal(ch.materialize())
+
+    def test_split_bounds(self):
+        ch = self.make()
+        with pytest.raises(ShapeError):
+            ch.split(0)
+        with pytest.raises(ShapeError):
+            ch.split(3)
+
+    def test_memory_guard(self):
+        huge = KroneckerChain([star_adjacency(1000)] * 4)
+        with pytest.raises(MemoryError):
+            huge.materialize()
+
+    def test_requires_square_factors(self):
+        with pytest.raises(ShapeError):
+            KroneckerChain([zeros((2, 3))])
+
+    def test_requires_factors(self):
+        with pytest.raises(ShapeError):
+            KroneckerChain([])
+
+    def test_lazy_scale_beyond_memory(self):
+        # A 10^18-nnz chain is described without issue.
+        ch = KroneckerChain([star_adjacency(10**3)] * 6)
+        assert ch.nnz == (2 * 10**3) ** 6
+        assert ch.degree_of(0) == (10**3) ** 6  # all-centers vertex
+
+
+class TestComponents:
+    def test_two_star_product_splits_in_two(self):
+        # Weichsel: product of two connected bipartite graphs has exactly
+        # two components (the paper's Fig. 1).
+        c = kron(star_adjacency(5), star_adjacency(3))
+        labels = connected_components(c)
+        assert len(np.unique(labels)) == 2
+
+    def test_loop_breaks_bipartiteness_and_connects(self):
+        c = kron(star_adjacency(5, "center"), star_adjacency(3, "center"))
+        labels = connected_components(c)
+        assert len(np.unique(labels)) == 1
+
+    def test_isolated_vertices_are_own_components(self):
+        m = from_edges(4, [(0, 1)])
+        labels = connected_components(m)
+        assert len(np.unique(labels)) == 3
+
+    def test_permutation_blocks_components(self):
+        c = kron(star_adjacency(3), star_adjacency(2))
+        perm = component_permutation(c)
+        labels = connected_components(c)[perm]
+        # After permutation, labels are sorted (grouped into blocks).
+        assert (np.diff(labels) >= 0).all()
+
+    def test_permuted_graph_is_isomorphic(self):
+        c = kron(star_adjacency(3), star_adjacency(2))
+        p = c.permuted(component_permutation(c))
+        assert p.nnz == c.nnz
+        assert sorted(p.row_nnz()) == sorted(c.row_nnz())
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            connected_components(zeros((2, 3)))

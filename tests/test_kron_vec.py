@@ -1,0 +1,103 @@
+"""Unit tests for matrix-free Kronecker matvec and power iteration."""
+
+import numpy as np
+import pytest
+
+from repro.design import PowerLawDesign, design_spectrum
+from repro.errors import ShapeError
+from repro.graphs import star_adjacency
+from repro.kron import (
+    KroneckerChain,
+    chain_matvec,
+    leading_eigenvector_factors,
+    power_iteration,
+    spectral_radius_estimate,
+)
+
+
+def chain_mixed():
+    return KroneckerChain(
+        [star_adjacency(3), star_adjacency(4, "center"), star_adjacency(2, "leaf")]
+    )
+
+
+class TestChainMatvec:
+    def test_matches_dense(self, rng):
+        chain = chain_mixed()
+        dense = chain.materialize().to_dense().astype(np.float64)
+        for _ in range(10):
+            x = rng.standard_normal(chain.num_vertices)
+            np.testing.assert_allclose(chain_matvec(chain, x), dense @ x, atol=1e-9)
+
+    def test_single_factor(self, rng):
+        chain = KroneckerChain([star_adjacency(5)])
+        dense = chain.materialize().to_dense().astype(np.float64)
+        x = rng.standard_normal(6)
+        np.testing.assert_allclose(chain_matvec(chain, x), dense @ x)
+
+    def test_linearity(self, rng):
+        chain = chain_mixed()
+        x = rng.standard_normal(chain.num_vertices)
+        y = rng.standard_normal(chain.num_vertices)
+        lhs = chain_matvec(chain, 2 * x + 3 * y)
+        rhs = 2 * chain_matvec(chain, x) + 3 * chain_matvec(chain, y)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError):
+            chain_matvec(chain_mixed(), np.zeros(3))
+
+    def test_memory_guard(self):
+        huge = KroneckerChain([star_adjacency(999)] * 4)
+        with pytest.raises(MemoryError):
+            chain_matvec(huge, np.zeros(1))
+
+
+class TestPowerIteration:
+    def test_radius_on_mixed_chain(self):
+        chain = chain_mixed()
+        dense = chain.materialize().to_dense().astype(np.float64)
+        expected = max(abs(np.linalg.eigvalsh(dense)))
+        value, vector, iterations = power_iteration(chain)
+        assert value == pytest.approx(expected, rel=1e-6)
+        assert iterations >= 1
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_plain_star_chain_radius_closed_form(self):
+        chain = KroneckerChain([star_adjacency(m) for m in (3, 4, 5)])
+        assert spectral_radius_estimate(chain) == pytest.approx(np.sqrt(60), rel=1e-6)
+
+    def test_agrees_with_exact_spectrum(self):
+        design = PowerLawDesign([3, 4, 2], "center")
+        exact = design_spectrum(design).spectral_radius
+        assert spectral_radius_estimate(design.to_chain()) == pytest.approx(
+            exact, rel=1e-6
+        )
+
+    def test_dominant_vector_is_a2_eigenvector(self):
+        chain = chain_mixed()
+        value, vector, _ = power_iteration(chain, tol=1e-14, max_iterations=2000)
+        a2v = chain_matvec(chain, chain_matvec(chain, vector))
+        np.testing.assert_allclose(a2v, value**2 * vector, atol=1e-5)
+
+
+class TestFactorEigenvectors:
+    def test_kron_of_factor_vectors_is_eigenvector(self):
+        chain = KroneckerChain([star_adjacency(3), star_adjacency(4, "center")])
+        factors = leading_eigenvector_factors(chain)
+        v = factors[0]
+        for f in factors[1:]:
+            v = np.kron(v, f)
+        dense = chain.materialize().to_dense().astype(np.float64)
+        av = dense @ v
+        # av = lambda v for a single lambda.
+        ratio = av[np.abs(v) > 1e-9] / v[np.abs(v) > 1e-9]
+        assert np.allclose(ratio, ratio[0], atol=1e-8)
+
+    def test_requires_symmetric(self):
+        from repro.errors import DesignError
+        from repro.sparse import from_triples
+
+        asym = from_triples((2, 2), [0], [1], [1])
+        with pytest.raises(DesignError):
+            leading_eigenvector_factors(KroneckerChain([asym]))

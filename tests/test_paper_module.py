@@ -1,0 +1,28 @@
+"""Tests for the one-command evidence module (repro.paper)."""
+
+from repro.paper import main, rows
+
+
+class TestPaperModule:
+    def test_exit_code_zero(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 unexplained mismatches" in out
+
+    def test_every_row_computes(self):
+        for row in rows():
+            value = row.compute()
+            if not row.note:
+                assert value == row.paper_value, row.label
+
+    def test_documented_errata_are_flagged(self, capsys):
+        main([])
+        out = capsys.readouterr().out
+        assert "documented paper errata" in out
+        assert "DIFFERS (documented)" in out
+
+    def test_fig6_is_the_only_divergence(self):
+        diverging = [
+            row.label for row in rows() if row.compute() != row.paper_value
+        ]
+        assert diverging == ["Fig 6: triangles"]

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Each property mirrors a theorem the paper relies on:
+
+* Kronecker identities (Section II): associativity, mixed product,
+  nnz/vertex multiplicativity;
+* degree-distribution identity (Section IV): n_A = ⊗ n_Ak;
+* triangle factorization (Section IV-A);
+* partition invariants (Section V): balance, disjoint union;
+* sparse-kernel correctness against dense NumPy oracles.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import DegreeDistribution, PowerLawDesign, chain_properties
+from repro.graphs import Graph, star_adjacency
+from repro.kron import KroneckerChain, kron
+from repro.parallel import ParallelKroneckerGenerator, VirtualCluster
+from repro.sparse import from_dense
+from repro.validate import validate_design
+
+# -- strategies ---------------------------------------------------------------
+
+star_sizes = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4)
+loops = st.sampled_from([None, "center", "leaf"])
+
+
+@st.composite
+def small_dense(draw, max_n=5, square=False):
+    n = draw(st.integers(1, max_n))
+    m = n if square else draw(st.integers(1, max_n))
+    elems = st.integers(0, 3)
+    rows = draw(
+        st.lists(
+            st.lists(elems, min_size=m, max_size=m), min_size=n, max_size=n
+        )
+    )
+    return np.asarray(rows, dtype=np.int64)
+
+
+@st.composite
+def degree_maps(draw):
+    return draw(
+        st.dictionaries(
+            st.integers(1, 50), st.integers(1, 20), min_size=1, max_size=6
+        )
+    )
+
+
+# -- sparse kernels vs dense oracle ----------------------------------------------
+
+
+@given(small_dense(), small_dense())
+@settings(max_examples=60, deadline=None)
+def test_sparse_roundtrip_and_transpose(a, b):
+    sa = from_dense(a)
+    np.testing.assert_array_equal(sa.to_dense(), a)
+    np.testing.assert_array_equal(sa.T.to_dense(), a.T)
+    np.testing.assert_array_equal(sa.to_csr().to_dense(), a)
+    np.testing.assert_array_equal(sa.to_csc().to_dense(), a)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_spgemm_matches_dense(data):
+    n = data.draw(st.integers(1, 5))
+    k = data.draw(st.integers(1, 5))
+    m = data.draw(st.integers(1, 5))
+    a = np.asarray(
+        data.draw(st.lists(st.lists(st.integers(0, 3), min_size=k, max_size=k), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    b = np.asarray(
+        data.draw(st.lists(st.lists(st.integers(0, 3), min_size=m, max_size=m), min_size=k, max_size=k)),
+        dtype=np.int64,
+    )
+    out = from_dense(a).to_csr().matmul(from_dense(b).to_csr())
+    np.testing.assert_array_equal(out.to_dense(), a @ b)
+
+
+@given(small_dense(max_n=4), small_dense(max_n=4))
+@settings(max_examples=60, deadline=None)
+def test_kron_matches_numpy(a, b):
+    np.testing.assert_array_equal(
+        kron(from_dense(a), from_dense(b)).to_dense(), np.kron(a, b)
+    )
+
+
+@given(small_dense(max_n=3), small_dense(max_n=3), small_dense(max_n=3))
+@settings(max_examples=40, deadline=None)
+def test_kron_associativity(a, b, c):
+    sa, sb, sc = from_dense(a), from_dense(b), from_dense(c)
+    assert kron(kron(sa, sb), sc).equal(kron(sa, kron(sb, sc)))
+
+
+@given(
+    small_dense(max_n=3, square=True),
+    small_dense(max_n=3, square=True),
+    small_dense(max_n=3, square=True),
+    small_dense(max_n=3, square=True),
+)
+@settings(max_examples=40, deadline=None)
+def test_mixed_product_identity(a, b, c, d):
+    # Shapes must chain: A, C are n x n; B, D are m x m — enforced by
+    # drawing square matrices and pairing by size.
+    if a.shape != c.shape or b.shape != d.shape:
+        return
+    sa, sb, sc, sd = map(from_dense, (a, b, c, d))
+    lhs = kron(sa, sb).matmul(kron(sc, sd))
+    rhs = kron(sa.matmul(sc), sb.matmul(sd))
+    assert lhs.equal(rhs)
+
+
+# -- degree distribution algebra ------------------------------------------------------
+
+
+@given(degree_maps(), degree_maps())
+@settings(max_examples=80, deadline=None)
+def test_distribution_kron_totals_multiply(da, db):
+    a, b = DegreeDistribution(da), DegreeDistribution(db)
+    c = a.kron(b)
+    assert c.num_vertices() == a.num_vertices() * b.num_vertices()
+    assert c.total_nnz() == a.total_nnz() * b.total_nnz()
+
+
+@given(degree_maps(), degree_maps())
+@settings(max_examples=60, deadline=None)
+def test_distribution_kron_commutes(da, db):
+    a, b = DegreeDistribution(da), DegreeDistribution(db)
+    assert a.kron(b) == b.kron(a)
+
+
+@given(degree_maps(), degree_maps(), degree_maps())
+@settings(max_examples=40, deadline=None)
+def test_distribution_kron_associates(da, db, dc):
+    a, b, c = (DegreeDistribution(d) for d in (da, db, dc))
+    assert a.kron(b).kron(c) == a.kron(b.kron(c))
+
+
+# -- design-vs-realization (the paper's central claim) ------------------------------
+
+
+@given(star_sizes, loops)
+@settings(max_examples=25, deadline=None)
+def test_design_predictions_match_realized_graph(sizes, loop):
+    design = PowerLawDesign(sizes, loop)
+    if design.num_vertices > 3000 or design.raw_nnz > 40_000:
+        return  # keep realization cheap
+    report = validate_design(design)
+    assert report.passed, report.to_text()
+
+
+@given(st.lists(st.integers(1, 5), min_size=2, max_size=3))
+@settings(max_examples=20, deadline=None)
+def test_chain_properties_match_materialized(sizes):
+    mats = [star_adjacency(m) for m in sizes]
+    props = chain_properties(mats)
+    g = Graph(KroneckerChain(mats).materialize())
+    assert props.num_vertices == g.num_vertices
+    assert props.nnz == g.num_edges
+    assert props.degree_distribution == g.degree_distribution()
+
+
+# -- partition invariants -----------------------------------------------------------
+
+
+@given(st.lists(st.integers(2, 5), min_size=2, max_size=3), st.integers(1, 9))
+@settings(max_examples=25, deadline=None)
+def test_parallel_union_equals_serial(sizes, n_ranks):
+    chain = KroneckerChain([star_adjacency(m) for m in sizes])
+    b_nnz = chain.factors[0].nnz
+    if b_nnz < n_ranks:
+        n_ranks = b_nnz
+    gen = ParallelKroneckerGenerator(
+        chain, VirtualCluster(n_ranks), split_index=1
+    )
+    blocks = gen.generate_blocks()
+    counts = [b.nnz for b in blocks]
+    # Balance: counts differ by at most nnz(C) (one B triple's fanout).
+    assert max(counts) - min(counts) <= gen.plan.c_chain.nnz
+    assert gen.assemble(blocks).equal(chain.materialize())

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import (
+    PowerLawDesign,
+    ValueDistribution,
+    design_spectrum,
+    triangle_count_raw,
+)
+from repro.graphs import SelfLoop, StarGraph
+from repro.grb import GrbVector
+from repro.parallel import streamed_degree_distribution
+from repro.semiring import PLUS_TIMES
+
+star_sizes = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4)
+loops = st.sampled_from([None, "center", "leaf"])
+
+
+@st.composite
+def value_maps(draw):
+    keys = st.integers(-20, 20).filter(lambda v: v != 0)
+    return draw(st.dictionaries(keys, st.integers(1, 9), min_size=1, max_size=5))
+
+
+# -- spectra ------------------------------------------------------------------
+
+
+@given(star_sizes, loops)
+@settings(max_examples=30, deadline=None)
+def test_spectrum_moments_match_exact_counts(sizes, loop):
+    design = PowerLawDesign(sizes, loop)
+    spectrum = design_spectrum(design)
+    assert spectrum.dimension == design.num_vertices
+    assert spectrum.moment(2) == pytest.approx(design.raw_nnz, rel=1e-9, abs=1e-6)
+    raw = triangle_count_raw(design.stars)
+    assert spectrum.moment(3) == pytest.approx(raw, rel=1e-9, abs=1e-6)
+
+
+@given(st.integers(1, 30), loops)
+@settings(max_examples=40, deadline=None)
+def test_star_spectrum_trace_identities(m_hat, loop):
+    from repro.design import star_spectrum
+
+    star = StarGraph(m_hat, SelfLoop.coerce(loop))
+    spectrum = star_spectrum(m_hat, loop)
+    # trace(A) = #self-loops; trace(A^2) = nnz.
+    expected_trace = 0 if star.self_loop is SelfLoop.NONE else 1
+    assert spectrum.moment(1) == pytest.approx(expected_trace, abs=1e-8)
+    assert spectrum.moment(2) == pytest.approx(star.nnz, rel=1e-9)
+
+
+# -- value distributions -------------------------------------------------------------
+
+
+@given(value_maps(), value_maps())
+@settings(max_examples=60, deadline=None)
+def test_value_kron_totals_multiply(da, db):
+    a, b = ValueDistribution(da), ValueDistribution(db)
+    c = a.kron(b)
+    assert c.total_nnz() == a.total_nnz() * b.total_nnz()
+    assert c.total_weight() == a.total_weight() * b.total_weight()
+
+
+@given(value_maps(), value_maps())
+@settings(max_examples=40, deadline=None)
+def test_value_kron_commutes(da, db):
+    a, b = ValueDistribution(da), ValueDistribution(db)
+    assert a.kron(b) == b.kron(a)
+
+
+# -- wedges / clustering ----------------------------------------------------------------
+
+
+@given(star_sizes, loops)
+@settings(max_examples=25, deadline=None)
+def test_wedges_match_realized(sizes, loop):
+    design = PowerLawDesign(sizes, loop)
+    if design.raw_nnz > 40_000:
+        return
+    graph = design.realize()
+    assert graph.num_wedges() == design.num_wedges
+    assert 0 <= design.clustering_coefficient <= 1
+
+
+# -- streaming --------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(2, 5), min_size=2, max_size=3), loops, st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_streamed_distribution_matches_prediction(sizes, loop, n_ranks):
+    design = PowerLawDesign(sizes, loop)
+    b_nnz = design.stars[0].nnz
+    ranks = min(n_ranks, b_nnz)
+    dist = streamed_degree_distribution(design, ranks)
+    assert dist == design.degree_distribution
+
+
+# -- GrbVector algebra ---------------------------------------------------------------
+
+
+@st.composite
+def grb_vectors(draw, size=8):
+    idx = draw(st.lists(st.integers(0, size - 1), unique=True, max_size=size))
+    vals = draw(
+        st.lists(st.integers(-5, 5), min_size=len(idx), max_size=len(idx))
+    )
+    return GrbVector(size, np.array(idx, dtype=np.int64), np.array(vals))
+
+
+@given(grb_vectors(), grb_vectors())
+@settings(max_examples=60, deadline=None)
+def test_grb_vector_ewise_matches_dense(a, b):
+    np.testing.assert_array_equal(
+        a.ewise_add(b).to_dense(), a.to_dense() + b.to_dense()
+    )
+    np.testing.assert_array_equal(
+        a.ewise_mult(b).to_dense(), a.to_dense() * b.to_dense()
+    )
+
+
+@given(grb_vectors())
+@settings(max_examples=40, deadline=None)
+def test_grb_vector_reduce_matches_dense(v):
+    assert v.reduce(PLUS_TIMES) == v.to_dense().sum()
+
+
+@given(grb_vectors(), grb_vectors())
+@settings(max_examples=40, deadline=None)
+def test_grb_mask_and_complement_partition(v, mask):
+    kept = v.select_mask(mask)
+    dropped = v.select_mask(mask, complement=True)
+    np.testing.assert_array_equal(
+        kept.to_dense() + dropped.to_dense(), v.to_dense()
+    )
+    assert kept.nnz + dropped.nnz == v.nnz

@@ -1,0 +1,157 @@
+"""Unit tests for the semiring layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemiringError, ShapeError
+from repro.semiring import (
+    BOOL_OR_AND,
+    MAX_MIN,
+    MAX_PLUS,
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+    ewise_add,
+    ewise_mult,
+    get_semiring,
+    kron_dense,
+    list_semirings,
+    mxm,
+    reduce_all,
+    register_semiring,
+)
+
+
+class TestAxioms:
+    @pytest.mark.parametrize(
+        "sr", [PLUS_TIMES, BOOL_OR_AND, MIN_PLUS, MAX_PLUS, MAX_MIN], ids=lambda s: s.name
+    )
+    def test_standard_semirings_satisfy_axioms(self, sr):
+        sr.check_axioms()
+
+    def test_broken_semiring_detected(self):
+        bad = Semiring("bad", add=np.subtract, mul=np.multiply, zero=0, one=1)
+        with pytest.raises(SemiringError):
+            bad.check_axioms()
+
+    def test_wrong_identity_detected(self):
+        bad = Semiring("bad2", add=np.add, mul=np.multiply, zero=1, one=1)
+        with pytest.raises(SemiringError):
+            bad.check_axioms()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SemiringError):
+            Semiring("", add=np.add, mul=np.multiply, zero=0, one=1)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_semiring("plus_times") is PLUS_TIMES
+
+    def test_unknown_name(self):
+        with pytest.raises(SemiringError):
+            get_semiring("no_such_semiring")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SemiringError):
+            register_semiring(Semiring("plus_times", np.add, np.multiply, 0, 1))
+
+    def test_listing_contains_standards(self):
+        names = list_semirings()
+        assert {"plus_times", "bool_or_and", "min_plus", "max_plus", "max_min"} <= set(names)
+
+
+class TestAddReduce:
+    def test_empty_reduction_gives_zero(self):
+        assert MIN_PLUS.add_reduce(np.empty(0)) == np.inf
+
+    def test_axis_reduction(self):
+        a = np.array([[1.0, 5.0], [2.0, 3.0]])
+        np.testing.assert_array_equal(MIN_PLUS.add_reduce(a, axis=0), [1.0, 3.0])
+
+    def test_full_reduction(self):
+        assert PLUS_TIMES.add_reduce(np.arange(5)) == 10
+
+    def test_generic_callable_add(self):
+        # A non-ufunc add exercises the Python fold fallback.
+        sr = Semiring("lambda_plus", add=lambda a, b: a + b, mul=np.multiply, zero=0, one=1)
+        assert sr.add_reduce(np.array([1, 2, 3])) == 6
+        np.testing.assert_array_equal(
+            sr.add_reduce(np.array([[1, 2], [3, 4]]), axis=0), [4, 6]
+        )
+
+
+class TestDenseOps:
+    def test_mxm_plus_times(self, rng):
+        A = rng.integers(0, 4, (3, 4))
+        B = rng.integers(0, 4, (4, 5))
+        np.testing.assert_array_equal(mxm(A, B), A @ B)
+
+    def test_mxm_min_plus_shortest_paths(self):
+        inf = np.inf
+        D = np.array([[0, 2, inf], [inf, 0, 3], [1, inf, 0]])
+        out = mxm(D, D, MIN_PLUS)
+        expected = np.array(
+            [[min(D[i, k] + D[k, j] for k in range(3)) for j in range(3)] for i in range(3)]
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_mxm_max_min_widest_paths(self):
+        inf = np.inf
+        W = np.array([[inf, 4.0, 1.0], [-inf, inf, 2.0], [-inf, -inf, inf]])
+        out = mxm(W, W, MAX_MIN)
+        # Widest 2-hop width 0->2 is max(min(4,2), min(1,inf)) = 2.
+        assert out[0, 2] == 2.0
+
+    def test_mxm_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mxm(np.eye(2), np.eye(3))
+
+    def test_mxm_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            mxm(np.arange(3), np.eye(3))
+
+    def test_ewise_ops(self, rng):
+        A = rng.integers(0, 4, (3, 3))
+        B = rng.integers(0, 4, (3, 3))
+        np.testing.assert_array_equal(ewise_add(A, B), A + B)
+        np.testing.assert_array_equal(ewise_mult(A, B), A * B)
+
+    def test_ewise_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ewise_add(np.eye(2), np.eye(3))
+
+    def test_kron_dense_matches_numpy(self, rng):
+        A = rng.integers(0, 3, (3, 2))
+        B = rng.integers(0, 3, (2, 4))
+        np.testing.assert_array_equal(kron_dense(A, B), np.kron(A, B))
+
+    def test_kron_dense_boolean(self):
+        A = np.array([[True, False], [False, True]])
+        B = np.array([[True], [True]])
+        out = kron_dense(A, B, BOOL_OR_AND)
+        np.testing.assert_array_equal(out, np.kron(A, B).astype(bool))
+
+    def test_kron_dense_min_plus_adds_weights(self):
+        # Over min-plus, the "product" of entries is their sum.
+        A = np.array([[1.0]])
+        B = np.array([[2.0, 3.0]])
+        np.testing.assert_array_equal(kron_dense(A, B, MIN_PLUS), [[3.0, 4.0]])
+
+    def test_reduce_all(self, rng):
+        A = rng.integers(0, 5, (4, 4))
+        assert reduce_all(A) == A.sum()
+
+    def test_mixed_product_identity_all_semirings(self, rng):
+        # (A kron B)(C kron D) == (AC) kron (BD) over several semirings.
+        for sr in (PLUS_TIMES, BOOL_OR_AND, MIN_PLUS, MAX_PLUS):
+            if sr.dtype == np.dtype(bool):
+                mk = lambda: rng.random((2, 2)) < 0.5
+            elif np.issubdtype(sr.dtype, np.floating):
+                mk = lambda: np.where(rng.random((2, 2)) < 0.6, rng.integers(0, 5, (2, 2)).astype(float), sr.zero)
+            else:
+                mk = lambda: rng.integers(0, 3, (2, 2))
+            A, B, C, D = mk(), mk(), mk(), mk()
+            lhs = mxm(kron_dense(A, B, sr), kron_dense(C, D, sr), sr)
+            rhs = kron_dense(mxm(A, C, sr), mxm(B, D, sr), sr)
+            np.testing.assert_array_equal(lhs, rhs)

@@ -1,0 +1,137 @@
+"""Unit tests for sparse constructors, conversions, and reductions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import (
+    col_degrees,
+    degrees,
+    eye,
+    from_dense,
+    from_edges,
+    from_triples,
+    random_sparse,
+    row_degrees,
+    to_dense,
+    total_sum,
+    trace,
+    zeros,
+)
+from repro.sparse.convert import as_coo, from_scipy, to_scipy
+from tests.conftest import random_dense
+
+
+class TestConstructors:
+    def test_eye(self):
+        np.testing.assert_array_equal(eye(3).to_dense(), np.eye(3, dtype=np.int64))
+
+    def test_zeros(self):
+        assert zeros((2, 5)).nnz == 0
+
+    def test_from_triples_pattern_default(self):
+        m = from_triples((2, 2), [0, 1], [1, 0])
+        assert m.get(0, 1) == 1 and m.get(1, 0) == 1
+
+    def test_from_edges_undirected(self):
+        m = from_edges(3, [(0, 1), (1, 2)])
+        assert m.is_symmetric()
+        assert m.nnz == 4
+
+    def test_from_edges_self_loop_stored_once(self):
+        m = from_edges(2, [(0, 0)])
+        assert m.nnz == 1
+        assert m.get(0, 0) == 1
+
+    def test_from_edges_duplicates_clamped_to_one(self):
+        m = from_edges(2, [(0, 1), (0, 1), (1, 0)])
+        assert m.get(0, 1) == 1 and m.get(1, 0) == 1
+
+    def test_from_edges_directed(self):
+        m = from_edges(3, [(0, 1)], undirected=False)
+        assert m.nnz == 1
+
+    def test_from_edges_empty(self):
+        assert from_edges(4, []).nnz == 0
+
+    def test_from_edges_bad_shape(self):
+        with pytest.raises(ShapeError):
+            from_edges(3, np.array([[0, 1, 2]]))
+
+    def test_random_sparse_density(self, rng):
+        m = random_sparse((30, 30), 0.2, rng=rng)
+        assert m.nnz == round(0.2 * 900)
+
+    def test_random_sparse_zero_density(self, rng):
+        assert random_sparse((5, 5), 0.0, rng=rng).nnz == 0
+
+    def test_random_sparse_full_density(self, rng):
+        assert random_sparse((4, 4), 1.0, rng=rng).nnz == 16
+
+    def test_random_sparse_bad_density(self, rng):
+        with pytest.raises(ValueError):
+            random_sparse((3, 3), 1.5, rng=rng)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            from_dense(np.array([1, 2, 3]))
+
+
+class TestConversions:
+    def test_dense_roundtrip(self, rng):
+        A = random_dense(rng, 5, 7)
+        np.testing.assert_array_equal(to_dense(from_dense(A)), A)
+
+    def test_to_dense_passthrough_ndarray(self):
+        A = np.eye(2)
+        assert to_dense(A) is A
+
+    def test_as_coo_from_csr_and_csc(self, rng):
+        A = random_dense(rng, 4, 4)
+        m = from_dense(A)
+        assert as_coo(m.to_csr()).equal(m)
+        assert as_coo(m.to_csc()).equal(m)
+
+    def test_as_coo_rejects_junk(self):
+        with pytest.raises(FormatError):
+            as_coo("not a matrix")
+
+    def test_scipy_roundtrip(self, rng):
+        A = random_dense(rng, 6, 6)
+        m = from_dense(A)
+        assert from_scipy(to_scipy(m)).equal(m)
+
+    def test_scipy_oracle_matmul(self, rng):
+        # Independent cross-check of our SpGEMM against SciPy.
+        A = random_dense(rng, 8, 8)
+        B = random_dense(rng, 8, 8)
+        ours = from_dense(A).matmul(from_dense(B))
+        theirs = (to_scipy(from_dense(A)).tocsr() @ to_scipy(from_dense(B)).tocsr()).toarray()
+        np.testing.assert_array_equal(ours.to_dense(), theirs)
+
+
+class TestLinalg:
+    def test_row_col_degrees(self):
+        A = np.array([[1, 1, 0], [0, 0, 0], [1, 0, 1]])
+        m = from_dense(A)
+        np.testing.assert_array_equal(row_degrees(m), [2, 0, 2])
+        np.testing.assert_array_equal(col_degrees(m), [2, 1, 1])
+
+    def test_degrees_requires_square(self):
+        with pytest.raises(ShapeError):
+            degrees(zeros((2, 3)))
+
+    def test_total_sum(self, rng):
+        A = random_dense(rng, 6, 6)
+        assert total_sum(from_dense(A)) == A.sum()
+
+    def test_trace(self):
+        A = np.array([[2, 1], [0, 5]])
+        assert trace(from_dense(A)) == 7
+
+    def test_trace_empty_diagonal(self):
+        assert trace(from_triples((2, 2), [0], [1], [3])) == 0
+
+    def test_trace_requires_square(self):
+        with pytest.raises(ShapeError):
+            trace(zeros((2, 3)))

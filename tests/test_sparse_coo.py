@@ -1,0 +1,179 @@
+"""Unit tests for COOMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import from_dense, from_triples, zeros
+from repro.sparse.coo import COOMatrix
+from tests.conftest import random_dense
+
+
+def small():
+    return from_triples((3, 3), [0, 1, 2], [1, 0, 2], [5, 7, 9])
+
+
+class TestConstruction:
+    def test_canonicalizes_duplicates(self):
+        m = from_triples((2, 2), [0, 0], [1, 1], [2, 3])
+        assert m.nnz == 1
+        assert m.get(0, 1) == 5
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(FormatError):
+            from_triples((2, 2), [2], [0], [1])
+
+    def test_rejects_out_of_range_cols(self):
+        with pytest.raises(FormatError):
+            from_triples((2, 2), [0], [5], [1])
+
+    def test_rejects_negative_shape(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((-1, 2), np.array([]), np.array([]), np.array([]))
+
+    def test_rejects_ragged_arrays(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((2, 2), np.array([0]), np.array([0, 1]), np.array([1]))
+
+    def test_zero_values_dropped(self):
+        m = from_triples((2, 2), [0, 1], [0, 1], [0, 3])
+        assert m.nnz == 1
+
+    def test_empty_matrix(self):
+        m = zeros((4, 5))
+        assert m.nnz == 0
+        assert m.shape == (4, 5)
+        assert m.to_dense().shape == (4, 5)
+
+
+class TestAccess:
+    def test_get_present(self):
+        assert small().get(0, 1) == 5
+
+    def test_get_absent_default(self):
+        assert small().get(0, 0) == 0
+        assert small().get(0, 0, default=-1) == -1
+
+    def test_get_out_of_range(self):
+        with pytest.raises(IndexError):
+            small().get(5, 0)
+
+    def test_iteration_yields_sorted_triples(self):
+        triples = list(small())
+        assert triples == [(0, 1, 5), (1, 0, 7), (2, 2, 9)]
+
+
+class TestWithEntry:
+    def test_set_new_entry(self):
+        m = small().with_entry(0, 0, 4)
+        assert m.get(0, 0) == 4
+        assert m.nnz == 4
+
+    def test_overwrite_entry(self):
+        m = small().with_entry(0, 1, 8)
+        assert m.get(0, 1) == 8
+        assert m.nnz == 3
+
+    def test_remove_entry_with_zero(self):
+        m = small().with_entry(0, 1, 0)
+        assert m.get(0, 1) == 0
+        assert m.nnz == 2
+
+    def test_remove_absent_is_noop(self):
+        m = small()
+        assert m.with_entry(0, 0, 0) is m
+
+    def test_without_self_loop(self):
+        m = from_triples((2, 2), [0, 0], [0, 1], [1, 1]).without_self_loop(0)
+        assert m.get(0, 0) == 0
+        assert m.get(0, 1) == 1
+
+    def test_original_unchanged(self):
+        m = small()
+        m.with_entry(0, 0, 9)
+        assert m.get(0, 0) == 0
+
+
+class TestAlgebra:
+    def test_transpose_roundtrip(self, rng):
+        A = random_dense(rng, 6, 4)
+        m = from_dense(A)
+        assert m.T.T.equal(m)
+        np.testing.assert_array_equal(m.T.to_dense(), A.T)
+
+    def test_matmul_matches_dense(self, rng):
+        A = random_dense(rng, 5, 4)
+        B = random_dense(rng, 4, 6)
+        np.testing.assert_array_equal(
+            from_dense(A).matmul(from_dense(B)).to_dense(), A @ B
+        )
+
+    def test_ewise_add_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            small().ewise_add(zeros((2, 2)))
+
+    def test_ewise_add_cancellation_drops_entry(self):
+        a = from_triples((2, 2), [0], [0], [3])
+        b = from_triples((2, 2), [0], [0], [-3])
+        assert (a + b).nnz == 0
+
+    def test_ewise_mult_intersects(self):
+        a = from_triples((2, 2), [0, 1], [0, 1], [2, 3])
+        b = from_triples((2, 2), [0, 1], [0, 0], [4, 5])
+        out = a * b
+        assert out.nnz == 1
+        assert out.get(0, 0) == 8
+
+    def test_scale(self):
+        m = small().scale(3)
+        assert m.get(0, 1) == 15
+
+    def test_scale_by_zero_empties(self):
+        assert small().scale(0).nnz == 0
+
+
+class TestReductions:
+    def test_sum_exact(self):
+        assert small().sum() == 21
+
+    def test_sum_large_values_no_overflow(self):
+        big = np.int64(2**62)
+        m = from_triples((1, 3), [0, 0, 0], [0, 1, 2], [big, big, big])
+        assert m.sum() == 3 * 2**62  # exceeds int64
+
+    def test_row_nnz(self):
+        np.testing.assert_array_equal(small().row_nnz(), [1, 1, 1])
+
+    def test_col_nnz(self):
+        np.testing.assert_array_equal(small().col_nnz(), [1, 1, 1])
+
+    def test_diagonal_nnz(self):
+        assert small().diagonal_nnz() == 1
+
+
+class TestStructure:
+    def test_symmetric_true(self):
+        m = from_triples((2, 2), [0, 1], [1, 0], [1, 1])
+        assert m.is_symmetric()
+
+    def test_symmetric_false_values(self):
+        m = from_triples((2, 2), [0, 1], [1, 0], [1, 2])
+        assert not m.is_symmetric()
+
+    def test_nonsquare_never_symmetric(self):
+        assert not zeros((2, 3)).is_symmetric()
+
+    def test_permuted_identity_is_noop(self, rng):
+        A = random_dense(rng, 5, 5)
+        m = from_dense(A)
+        assert m.permuted(np.arange(5)).equal(m)
+
+    def test_permuted_matches_dense_fancy_index(self, rng):
+        A = random_dense(rng, 6, 6)
+        perm = rng.permutation(6)
+        out = from_dense(A).permuted(perm)
+        np.testing.assert_array_equal(out.to_dense(), A[np.ix_(perm, perm)])
+
+    def test_permuted_wrong_length(self):
+        with pytest.raises(ShapeError):
+            small().permuted(np.arange(2))

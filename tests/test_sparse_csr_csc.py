@@ -1,0 +1,126 @@
+"""Unit tests for CSRMatrix and CSCMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.semiring import BOOL_OR_AND
+from repro.sparse import from_dense
+from repro.sparse.csr import CSRMatrix
+from tests.conftest import random_dense
+
+
+class TestCSR:
+    def test_roundtrip_coo(self, rng):
+        A = random_dense(rng, 7, 5)
+        m = from_dense(A)
+        assert m.to_csr().to_coo().equal(m)
+
+    def test_row_access(self):
+        A = np.array([[0, 2, 0], [1, 0, 3]])
+        csr = from_dense(A).to_csr()
+        cols, vals = csr.row(1)
+        np.testing.assert_array_equal(cols, [0, 2])
+        np.testing.assert_array_equal(vals, [1, 3])
+
+    def test_row_out_of_range(self):
+        csr = from_dense(np.eye(2, dtype=np.int64)).to_csr()
+        with pytest.raises(IndexError):
+            csr.row(2)
+
+    def test_row_nnz(self):
+        A = np.array([[0, 2, 0], [1, 0, 3]])
+        np.testing.assert_array_equal(from_dense(A).to_csr().row_nnz(), [1, 2])
+
+    def test_matmul_inner_dim_mismatch(self, rng):
+        a = from_dense(random_dense(rng, 3, 4)).to_csr()
+        b = from_dense(random_dense(rng, 3, 4)).to_csr()
+        with pytest.raises(ShapeError):
+            a.matmul(b)
+
+    def test_matmul_chain_associative(self, rng):
+        A = random_dense(rng, 4, 4)
+        B = random_dense(rng, 4, 4)
+        C = random_dense(rng, 4, 4)
+        sa, sb, sc = (from_dense(x).to_csr() for x in (A, B, C))
+        left = (sa @ sb) @ sc
+        right = sa @ (sb @ sc)
+        np.testing.assert_array_equal(left.to_dense(), right.to_dense())
+
+    def test_boolean_semiring_matmul_is_reachability(self):
+        A = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=bool)
+        sa = from_dense(A).to_csr()
+        two_hop = sa.matmul(sa, BOOL_OR_AND).to_dense()
+        np.testing.assert_array_equal(two_hop, A @ A)
+
+    def test_transpose_matches_dense(self, rng):
+        A = random_dense(rng, 5, 8)
+        np.testing.assert_array_equal(from_dense(A).to_csr().T.to_dense(), A.T)
+
+    def test_ewise_ops_match_dense(self, rng):
+        A = random_dense(rng, 5, 5)
+        B = random_dense(rng, 5, 5)
+        sa, sb = from_dense(A).to_csr(), from_dense(B).to_csr()
+        np.testing.assert_array_equal(sa.ewise_add(sb).to_dense(), A + B)
+        np.testing.assert_array_equal(sa.ewise_mult(sb).to_dense(), A * B)
+
+    def test_sum(self, rng):
+        A = random_dense(rng, 5, 5)
+        assert from_dense(A).to_csr().sum() == A.sum()
+
+    def test_validation_on_construction(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1]))
+
+
+class TestCSC:
+    def test_roundtrip_coo(self, rng):
+        A = random_dense(rng, 6, 9)
+        m = from_dense(A)
+        assert m.to_csc().to_coo().equal(m)
+
+    def test_col_access(self):
+        A = np.array([[0, 2], [1, 0], [0, 3]])
+        csc = from_dense(A).to_csc()
+        rows, vals = csc.col(1)
+        np.testing.assert_array_equal(rows, [0, 2])
+        np.testing.assert_array_equal(vals, [2, 3])
+
+    def test_col_out_of_range(self):
+        csc = from_dense(np.eye(2, dtype=np.int64)).to_csc()
+        with pytest.raises(IndexError):
+            csc.col(5)
+
+    def test_col_nnz(self):
+        A = np.array([[0, 2], [1, 0], [0, 3]])
+        np.testing.assert_array_equal(from_dense(A).to_csc().col_nnz(), [1, 2])
+
+    def test_transpose(self, rng):
+        A = random_dense(rng, 4, 7)
+        np.testing.assert_array_equal(from_dense(A).to_csc().T.to_dense(), A.T)
+
+    def test_matmul_matches_dense(self, rng):
+        A = random_dense(rng, 4, 5)
+        B = random_dense(rng, 5, 3)
+        out = from_dense(A).to_csc().matmul(from_dense(B).to_csc())
+        np.testing.assert_array_equal(out.to_dense(), A @ B)
+
+    def test_column_slice_matches_numpy(self, rng):
+        A = random_dense(rng, 6, 8)
+        csc = from_dense(A).to_csc()
+        np.testing.assert_array_equal(csc.column_slice(2, 6).to_dense(), A[:, 2:6])
+
+    def test_column_slice_empty_range(self, rng):
+        A = random_dense(rng, 3, 3)
+        sliced = from_dense(A).to_csc().column_slice(1, 1)
+        assert sliced.shape == (3, 0)
+        assert sliced.nnz == 0
+
+    def test_column_slice_bounds(self, rng):
+        csc = from_dense(random_dense(rng, 3, 3)).to_csc()
+        with pytest.raises(IndexError):
+            csc.column_slice(2, 5)
+
+    def test_sum(self, rng):
+        A = random_dense(rng, 5, 5)
+        assert from_dense(A).to_csc().sum() == A.sum()

@@ -1,0 +1,73 @@
+"""Unit tests for extraction / selection matrices (paper §7.17 excerpt)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import extract, from_dense, selection_matrix, zeros
+from tests.conftest import random_dense
+
+
+class TestSelectionMatrix:
+    def test_structure(self):
+        s = selection_matrix(4, np.array([2, 0]))
+        expected = np.zeros((4, 2), dtype=np.int64)
+        expected[2, 0] = 1
+        expected[0, 1] = 1
+        np.testing.assert_array_equal(s.to_dense(), expected)
+
+    def test_empty_selection(self):
+        s = selection_matrix(3, np.array([], dtype=np.int64))
+        assert s.shape == (3, 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ShapeError):
+            selection_matrix(2, np.array([2]))
+
+    def test_identity_selection(self):
+        from repro.sparse import eye
+
+        s = selection_matrix(3, np.arange(3))
+        assert s.equal(eye(3))
+
+
+class TestExtract:
+    def test_matches_numpy_fancy_indexing(self, rng):
+        for _ in range(15):
+            A = random_dense(rng, 6, 7)
+            ri = rng.integers(0, 6, size=3)
+            ci = rng.integers(0, 7, size=4)
+            got = extract(from_dense(A), ri, ci)
+            np.testing.assert_array_equal(got.to_dense(), A[np.ix_(ri, ci)])
+
+    def test_repeated_indices_duplicate(self, rng):
+        A = random_dense(rng, 4, 4)
+        got = extract(from_dense(A), np.array([1, 1]), np.array([2]))
+        np.testing.assert_array_equal(got.to_dense(), A[np.ix_([1, 1], [2])])
+
+    def test_selection_matrix_identity(self, rng):
+        # The paper's C = Sᵀ(i) A S(j) equals direct extraction.
+        A = random_dense(rng, 5, 5)
+        sa = from_dense(A)
+        ri = np.array([4, 0, 2])
+        ci = np.array([1, 3])
+        direct = extract(sa, ri, ci)
+        via = selection_matrix(5, ri).T.matmul(sa).matmul(selection_matrix(5, ci))
+        assert via.equal(direct)
+
+    def test_empty_matrix(self):
+        got = extract(zeros((3, 3)), np.array([0, 1]), np.array([2]))
+        assert got.shape == (2, 1)
+        assert got.nnz == 0
+
+    def test_bounds_checked(self, rng):
+        sa = from_dense(random_dense(rng, 3, 3))
+        with pytest.raises(ShapeError):
+            extract(sa, np.array([3]), np.array([0]))
+        with pytest.raises(ShapeError):
+            extract(sa, np.array([0]), np.array([9]))
+
+    def test_rejects_2d_indices(self, rng):
+        sa = from_dense(random_dense(rng, 3, 3))
+        with pytest.raises(ShapeError):
+            extract(sa, np.array([[0]]), np.array([0]))

@@ -1,0 +1,160 @@
+"""Unit tests for tril/triu, apply/select, matvec, and masked SpGEMM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    apply_values,
+    from_dense,
+    matvec,
+    select_entries,
+    tril,
+    triu,
+)
+from repro.sparse.kernels import SPGEMM_CHUNK_FANOUT
+from tests.conftest import random_dense
+
+
+class TestTriangularParts:
+    def test_tril_strict(self, rng):
+        A = random_dense(rng, 6, 6)
+        np.testing.assert_array_equal(tril(from_dense(A)).to_dense(), np.tril(A, -1))
+
+    def test_tril_inclusive(self, rng):
+        A = random_dense(rng, 6, 6)
+        np.testing.assert_array_equal(
+            tril(from_dense(A), strict=False).to_dense(), np.tril(A)
+        )
+
+    def test_triu_strict(self, rng):
+        A = random_dense(rng, 6, 6)
+        np.testing.assert_array_equal(triu(from_dense(A)).to_dense(), np.triu(A, 1))
+
+    def test_tril_plus_triu_plus_diag_reconstructs(self, rng):
+        A = random_dense(rng, 5, 5)
+        m = from_dense(A)
+        recon = (
+            tril(m).to_dense() + triu(m).to_dense() + np.diag(np.diag(A))
+        )
+        np.testing.assert_array_equal(recon, A)
+
+
+class TestApplySelect:
+    def test_apply_scales(self, rng):
+        A = random_dense(rng, 4, 4)
+        out = apply_values(from_dense(A), lambda v: v * 3)
+        np.testing.assert_array_equal(out.to_dense(), A * 3)
+
+    def test_apply_dropping_zeros(self):
+        m = from_dense(np.array([[1, 2], [3, 0]]))
+        out = apply_values(m, lambda v: v - 1)  # the 1 entry becomes 0
+        assert out.nnz == 2
+
+    def test_apply_shape_guard(self):
+        m = from_dense(np.eye(2, dtype=np.int64))
+        with pytest.raises(ShapeError):
+            apply_values(m, lambda v: v[:1])
+
+    def test_select_by_value(self, rng):
+        A = random_dense(rng, 5, 5)
+        out = select_entries(from_dense(A), lambda r, c, v: v >= 3)
+        np.testing.assert_array_equal(out.to_dense(), np.where(A >= 3, A, 0))
+
+    def test_select_by_position(self, rng):
+        A = random_dense(rng, 5, 5)
+        out = select_entries(from_dense(A), lambda r, c, v: r > c)
+        np.testing.assert_array_equal(out.to_dense(), np.tril(A, -1))
+
+    def test_select_shape_guard(self):
+        m = from_dense(np.eye(2, dtype=np.int64))
+        with pytest.raises(ShapeError):
+            select_entries(m, lambda r, c, v: np.array([True]))
+
+
+class TestMatvec:
+    def test_matches_dense(self, rng):
+        A = random_dense(rng, 6, 4)
+        x = rng.standard_normal(4)
+        np.testing.assert_allclose(matvec(from_dense(A), x), A @ x)
+
+    def test_shape_guard(self, rng):
+        with pytest.raises(ShapeError):
+            matvec(from_dense(random_dense(rng, 3, 3)), np.zeros(4))
+
+
+class TestMaskedMatmul:
+    def test_mask_restricts_output_pattern(self, rng):
+        A = random_dense(rng, 8, 8)
+        sa = from_dense(A).to_csr()
+        masked = sa.matmul(sa, mask=sa).to_dense()
+        full = A @ A
+        expected = np.where(A != 0, full, 0)
+        np.testing.assert_array_equal(masked, expected)
+
+    def test_empty_mask_empty_output(self, rng):
+        from repro.sparse import zeros
+
+        A = random_dense(rng, 4, 4)
+        sa = from_dense(A).to_csr()
+        out = sa.matmul(sa, mask=zeros((4, 4)).to_csr())
+        assert out.nnz == 0
+
+    def test_mask_shape_guard(self, rng):
+        from repro.sparse import zeros
+
+        sa = from_dense(random_dense(rng, 4, 4)).to_csr()
+        with pytest.raises(ShapeError):
+            sa.matmul(sa, mask=zeros((5, 5)).to_csr())
+
+    def test_chunked_path_matches_single_pass(self, rng):
+        # Force chunking with a tiny chunk budget and compare kernels.
+        from repro.sparse import kernels
+
+        A = random_dense(rng, 20, 20, density=0.4)
+        B = random_dense(rng, 20, 20, density=0.4)
+        sa, sb = from_dense(A).to_csr(), from_dense(B).to_csr()
+        single = kernels.csr_matmul(
+            sa.indptr, sa.indices, sa.data, sb.indptr, sb.indices, sb.data, 20
+        )
+        chunked = kernels.csr_matmul(
+            sa.indptr,
+            sa.indices,
+            sa.data,
+            sb.indptr,
+            sb.indices,
+            sb.data,
+            20,
+            chunk_fanout=7,
+        )
+        for got, want in zip(chunked, single):
+            np.testing.assert_array_equal(got, want)
+
+    def test_chunked_masked_matches(self, rng):
+        from repro.sparse import kernels
+
+        A = random_dense(rng, 15, 15, density=0.5)
+        sa = from_dense(A).to_csr()
+        coo = sa.to_coo()
+        mask_keys = coo.rows * 15 + coo.cols
+        small = kernels.csr_matmul(
+            sa.indptr, sa.indices, sa.data, sa.indptr, sa.indices, sa.data, 15,
+            n_cols=15, mask_keys=mask_keys, chunk_fanout=5,
+        )
+        big = kernels.csr_matmul(
+            sa.indptr, sa.indices, sa.data, sa.indptr, sa.indices, sa.data, 15,
+            n_cols=15, mask_keys=mask_keys,
+        )
+        for got, want in zip(small, big):
+            np.testing.assert_array_equal(got, want)
+
+    def test_default_chunk_constant_sane(self):
+        assert SPGEMM_CHUNK_FANOUT >= 1 << 20
+
+    def test_hub_graph_triangles_bounded_memory(self):
+        # Regression: a star-kron hub graph used to OOM the naive SpGEMM.
+        from repro.design import PowerLawDesign
+
+        design = PowerLawDesign([4, 625])
+        graph = design.realize()
+        assert graph.num_triangles() == 0

@@ -1,0 +1,125 @@
+"""Unit tests for the validation subsystem."""
+
+import pytest
+
+from repro.design import DegreeDistribution, PowerLawDesign
+from repro.errors import ValidationError
+from repro.graphs import Graph, complete_graph, cycle_graph, star_adjacency
+from repro.sparse import from_edges
+from repro.validate import (
+    audit_graph_structure,
+    check_degree_distribution,
+    check_triangles,
+    count_triangles_matrix,
+    count_triangles_node_iterator,
+    validate_design,
+)
+
+
+class TestDegreeCheck:
+    def test_exact_match(self):
+        g = Graph(star_adjacency(4))
+        check = check_degree_distribution(g, DegreeDistribution({1: 4, 4: 1}))
+        assert check.exact_match
+        assert bool(check)
+        assert "EXACT" in check.to_text()
+
+    def test_mismatch_reported_per_degree(self):
+        g = Graph(star_adjacency(4))
+        check = check_degree_distribution(g, DegreeDistribution({1: 4, 5: 1}))
+        assert not check
+        assert check.mismatches[4] == (1, 0)
+        assert check.mismatches[5] == (0, 1)
+        assert "mismatching" in check.to_text()
+
+    def test_accepts_plain_mappings(self):
+        check = check_degree_distribution({1: 2}, {1: 2})
+        assert check.exact_match
+
+    def test_accepts_distribution_as_measured(self):
+        check = check_degree_distribution(
+            DegreeDistribution({2: 2}), DegreeDistribution({2: 2})
+        )
+        assert check.exact_match
+
+
+class TestTriangleCounters:
+    @pytest.mark.parametrize(
+        "matrix,expected",
+        [
+            (complete_graph(4), 4),
+            (complete_graph(5), 10),
+            (cycle_graph(3), 1),
+            (cycle_graph(5), 0),
+            (star_adjacency(6), 0),
+        ],
+        ids=["K4", "K5", "C3", "C5", "star"],
+    )
+    def test_both_algorithms_agree(self, matrix, expected):
+        g = Graph(matrix)
+        assert count_triangles_matrix(g) == expected
+        assert count_triangles_node_iterator(g) == expected
+
+    def test_node_iterator_rejects_loops(self):
+        g = Graph(from_edges(3, [(0, 0), (0, 1)]))
+        with pytest.raises(ValidationError):
+            count_triangles_node_iterator(g)
+
+    def test_node_iterator_rejects_asymmetric(self):
+        from repro.sparse import from_triples
+
+        g = Graph(from_triples((3, 3), [0], [1], [1]))
+        with pytest.raises(ValidationError):
+            count_triangles_node_iterator(g)
+
+    def test_check_triangles_pass(self):
+        check = check_triangles(Graph(complete_graph(4)), 4)
+        assert check.exact_match
+        assert "EXACT" in check.to_text()
+
+    def test_check_triangles_fail(self):
+        check = check_triangles(Graph(complete_graph(4)), 5)
+        assert not check
+
+    def test_cross_check_skipped_above_limit(self):
+        check = check_triangles(Graph(complete_graph(4)), 4, cross_check_limit=2)
+        assert check.node_iterator_count is None
+        assert "skipped" in check.to_text()
+
+
+class TestStructureAudit:
+    def test_clean_graph(self):
+        audit = audit_graph_structure(PowerLawDesign([3, 4]).realize())
+        assert audit.clean
+        assert "CLEAN" in audit.to_text()
+
+    def test_dirty_graph_flags(self):
+        g = Graph(from_edges(5, [(0, 0), (0, 1)]))
+        audit = audit_graph_structure(g)
+        assert not audit.clean
+        assert audit.num_self_loops == 1
+        assert audit.num_empty_vertices == 3
+        assert "ISSUES" in audit.to_text()
+
+
+class TestValidateDesign:
+    @pytest.mark.parametrize("loop", [None, "center", "leaf"])
+    @pytest.mark.parametrize("sizes", [[3], [4, 3], [2, 3, 4]])
+    def test_designs_validate(self, sizes, loop):
+        report = validate_design(PowerLawDesign(sizes, loop))
+        assert report.passed, report.to_text()
+        assert "PASSED" in report.to_text()
+
+    def test_wrong_graph_fails(self):
+        report = validate_design(
+            PowerLawDesign([3, 4]), graph=PowerLawDesign([4, 5]).realize()
+        )
+        assert not report.passed
+        assert "FAILED" in report.to_text()
+
+    def test_validates_supplied_parallel_graph(self):
+        from repro.parallel.generator import generate_design_parallel
+
+        design = PowerLawDesign([3, 4, 2], "center")
+        g = generate_design_parallel(design, 6)
+        assert validate_design(design, graph=g).passed
