@@ -16,6 +16,9 @@ Our substrate is one machine, so the reproduction has three parts:
    graph, and extrapolate the aggregate rate (labelled simulated).
 """
 
+import json
+import os
+
 import pytest
 
 from benchmarks.conftest import record
@@ -87,6 +90,48 @@ def test_fig3_linearity_shape(benchmark):
     # bound: rank workloads shrink 8x, amplifying constant overheads).
     assert study.is_linear(rel_tol=0.6), study.to_text()
     record(benchmark, study="\n" + study.to_text(), paper_claim="linear scaling")
+
+
+def test_fig3_metrics_snapshot(benchmark, tmp_path):
+    """The perf trajectory is machine-readable: generation emits a JSON
+    metrics snapshot with per-rank durations, retry counts, and rates.
+
+    Set ``REPRO_METRICS_DIR`` to keep the snapshot outside the test's
+    temporary directory (e.g. for CI artifact collection).
+    """
+    from repro.parallel import ParallelKroneckerGenerator
+    from repro.runtime import MetricsRegistry, write_snapshot
+
+    chain = PowerLawDesign([3, 4, 5, 9]).to_chain()
+    metrics = MetricsRegistry()
+
+    def generate():
+        gen = ParallelKroneckerGenerator(chain, VirtualCluster(4), metrics=metrics)
+        return gen, gen.generate_blocks()
+
+    gen, blocks = benchmark.pedantic(generate, rounds=1, iterations=1)
+    rate = gen.edges_per_second(blocks)
+    snapshot = metrics.snapshot()
+    snapshot["run"] = {
+        "benchmark": "fig3_metrics_snapshot",
+        "ranks": 4,
+        "total_edges": sum(b.nnz for b in blocks),
+        "edges_per_second": rate,
+        "execution": gen.last_execution.to_dict(),
+    }
+    out_dir = os.environ.get("REPRO_METRICS_DIR") or str(tmp_path)
+    path = write_snapshot(os.path.join(out_dir, "fig3_metrics.json"), snapshot)
+    with open(path, "r", encoding="utf-8") as fh:
+        loaded = json.load(fh)
+    assert loaded["counters"]["ranks.completed"] == 4
+    assert len(loaded["run"]["execution"]["ranks"]) == 4
+    assert all("elapsed_s" in r for r in loaded["run"]["execution"]["ranks"])
+    assert loaded["run"]["edges_per_second"] > 0
+    record(
+        benchmark,
+        metrics_snapshot=path,
+        simulated_rate_edges_per_s=f"{rate:.3e}",
+    )
 
 
 def test_fig3_real_scale_single_rank_block(benchmark):

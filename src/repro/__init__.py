@@ -30,6 +30,8 @@ Subpackages
 - :mod:`repro.sparse` — the from-scratch sparse matrix substrate,
 - :mod:`repro.semiring` — GraphBLAS-style semiring algebra,
 - :mod:`repro.parallel` — the Section-V no-communication generator,
+- :mod:`repro.runtime` — fault-tolerant, observable rank execution
+  (metrics, tracing, retrying executor, progress events),
 - :mod:`repro.validate` — measured-vs-predicted validation,
 - :mod:`repro.baselines` — R-MAT / Chung-Lu comparison generators,
 - :mod:`repro.analysis` — power-law fits and figure series,
@@ -41,8 +43,21 @@ from repro.design import DegreeDistribution, PowerLawDesign, design_for_scale
 from repro.errors import ReproError
 from repro.graphs import Graph, StarGraph, SelfLoop
 from repro.kron import KroneckerChain, kron, kron_chain
-from repro.parallel import ParallelKroneckerGenerator, VirtualCluster
+from repro.parallel import (
+    ParallelKroneckerGenerator,
+    VirtualCluster,
+    get_backend,
+    list_backends,
+)
 from repro.parallel.generator import generate_design_parallel
+from repro.runtime import (
+    FailureInjector,
+    MetricsRegistry,
+    RankEvents,
+    RankExecutor,
+    Tracer,
+    span,
+)
 from repro.validate import validate_design
 
 __all__ = [
@@ -60,5 +75,13 @@ __all__ = [
     "VirtualCluster",
     "ParallelKroneckerGenerator",
     "generate_design_parallel",
+    "get_backend",
+    "list_backends",
+    "MetricsRegistry",
+    "Tracer",
+    "span",
+    "RankExecutor",
+    "RankEvents",
+    "FailureInjector",
     "validate_design",
 ]

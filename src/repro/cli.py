@@ -36,6 +36,38 @@ def _add_design_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runtime_args(p: argparse.ArgumentParser) -> None:
+    """Execution/observability flags shared by generate and scale."""
+    from repro.parallel.backends import list_backends
+
+    p.add_argument(
+        "--backend",
+        choices=list_backends(),
+        default="serial",
+        help="execution backend for rank work",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retry budget per rank for transient failures",
+    )
+    p.add_argument(
+        "--rank-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cooperative per-rank timeout; slow attempts are retried",
+    )
+    p.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a JSON metrics snapshot (per-rank durations, retries, rates)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-graph",
@@ -57,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_args(p_gen)
     p_gen.add_argument("--ranks", type=int, default=4, help="simulated rank count")
     p_gen.add_argument("--out", type=str, default=None, help="directory for per-rank TSV files")
+    _add_runtime_args(p_gen)
 
     p_val = sub.add_parser("validate", help="realize and check measured == predicted")
     _add_design_args(p_val)
@@ -70,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 2, 4, 8],
         help="rank counts to sweep",
     )
+    _add_runtime_args(p_scale)
 
     p_spec = sub.add_parser(
         "spectrum", help="exact adjacency spectrum of a design's raw product"
@@ -127,11 +161,22 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.parallel import ParallelKroneckerGenerator, VirtualCluster
+    from repro.runtime import ConsoleProgress, MetricsRegistry
     from repro.validate import audit_partition
 
     design = PowerLawDesign(args.star_sizes, args.self_loop)
     cluster = VirtualCluster(n_ranks=args.ranks)
-    gen = ParallelKroneckerGenerator(design.to_chain(), cluster)
+    metrics = MetricsRegistry()
+    progress = ConsoleProgress(args.ranks)
+    gen = ParallelKroneckerGenerator(
+        design.to_chain(),
+        cluster,
+        backend=args.backend,
+        max_retries=args.max_retries,
+        rank_timeout_s=args.rank_timeout,
+        metrics=metrics,
+        events=progress.events(),
+    )
     blocks = gen.generate_blocks()
     audit = audit_partition(gen.plan, blocks, design.raw_nnz)
     print(audit.to_text())
@@ -142,6 +187,18 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
         paths = write_rank_files(args.out, blocks)
         print(f"wrote {len(paths)} rank files to {args.out}")
+    if args.metrics_out:
+        path = _write_metrics_snapshot(
+            args.metrics_out,
+            metrics,
+            command="generate",
+            ranks=args.ranks,
+            backend=args.backend,
+            total_edges=sum(b.nnz for b in blocks),
+            edges_per_second=rate,
+            execution=gen.last_execution,
+        )
+        print(f"wrote metrics snapshot to {path}")
     return 0
 
 
@@ -156,11 +213,41 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 def cmd_scale(args: argparse.Namespace) -> int:
     from repro.parallel.scaling import run_scaling_study
+    from repro.runtime import MetricsRegistry
 
     design = PowerLawDesign(args.star_sizes, args.self_loop)
-    study = run_scaling_study(design.to_chain(), args.ranks)
+    metrics = MetricsRegistry() if args.metrics_out else None
+    study = run_scaling_study(
+        design.to_chain(),
+        args.ranks,
+        backend=args.backend,
+        max_retries=args.max_retries,
+        rank_timeout_s=args.rank_timeout,
+        metrics=metrics,
+    )
     print(study.to_text())
+    if args.metrics_out:
+        path = _write_metrics_snapshot(
+            args.metrics_out,
+            metrics,
+            command="scale",
+            ranks=args.ranks,
+            backend=args.backend,
+            sweep=study.rows(),
+        )
+        print(f"wrote metrics snapshot to {path}")
     return 0
+
+
+def _write_metrics_snapshot(path, metrics, *, execution=None, **run_info) -> str:
+    """Merge the registry snapshot with run-level accounting and write it."""
+    from repro.runtime import write_snapshot
+
+    snapshot = metrics.snapshot()
+    snapshot["run"] = dict(run_info)
+    if execution is not None:
+        snapshot["run"]["execution"] = execution.to_dict()
+    return write_snapshot(path, snapshot)
 
 
 def cmd_spectrum(args: argparse.Namespace) -> int:

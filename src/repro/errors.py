@@ -41,6 +41,30 @@ class PartitionError(GenerationError):
     """A parallel partition is infeasible (e.g. more ranks than triples)."""
 
 
+class RankExecutionError(GenerationError):
+    """A rank's unit of work failed while executing on a backend."""
+
+
+class TransientRankError(RankExecutionError):
+    """A retryable rank failure (flaky I/O, injected fault, timeout...).
+
+    The :class:`~repro.runtime.RankExecutor` retries these with backoff
+    up to its ``max_retries`` budget.
+    """
+
+
+class FatalRankError(RankExecutionError):
+    """A non-retryable rank failure; the executor aborts immediately."""
+
+
+class RankTimeoutError(TransientRankError):
+    """A rank exceeded its per-rank timeout (cooperative, post-hoc)."""
+
+
+class RetryExhaustedError(RankExecutionError):
+    """A rank kept failing after every permitted retry attempt."""
+
+
 class ValidationError(ReproError):
     """A generated graph disagrees with its design prediction."""
 

@@ -22,8 +22,16 @@ from repro.parallel.partition import (
 from repro.parallel.generator import (
     ParallelKroneckerGenerator,
     RankBlock,
+    generate_design_parallel,
 )
-from repro.parallel.backends import MultiprocessingBackend, SerialBackend
+from repro.parallel.backends import (
+    MultiprocessingBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    list_backends,
+    resolve_backend,
+)
 from repro.parallel.scaling import ScalingPoint, ScalingStudy, measure_rank_rate
 from repro.parallel.scramble import ScramblePermutation, scramble_graph, scramble_permutation
 from repro.parallel.simulate import CurvePoint, SimulatedCurve, simulate_rate_curve
@@ -56,8 +64,13 @@ __all__ = [
     "RankAssignment",
     "ParallelKroneckerGenerator",
     "RankBlock",
+    "generate_design_parallel",
     "SerialBackend",
+    "ThreadBackend",
     "MultiprocessingBackend",
+    "get_backend",
+    "list_backends",
+    "resolve_backend",
     "ScalingPoint",
     "ScalingStudy",
     "measure_rank_rate",

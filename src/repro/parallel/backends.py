@@ -1,23 +1,37 @@
 """Execution backends for the simulated ranks.
 
-A backend maps a per-rank work function over rank inputs.  The serial
-backend executes ranks one after another in-process (deterministic,
-zero overhead — the default for validation).  The multiprocessing
-backend uses a process pool, demonstrating that the per-rank work is
-genuinely independent (nothing but the immutable inputs crosses the
-process boundary — the algorithm's no-communication property, enforced
-by construction).
+A backend maps a per-rank work function over rank inputs; the formal
+contract is :class:`repro.typing.Backend` (``name`` + ``map(fn, items)``
+plus an optional ``shutdown()``).  Three implementations ship:
+
+* :class:`SerialBackend` — ranks one after another in-process
+  (deterministic, zero overhead — the default for validation);
+* :class:`ThreadBackend` — a thread pool.  The per-rank kernel releases
+  the GIL inside NumPy, so threads overlap real work without the pickling
+  constraints of processes;
+* :class:`MultiprocessingBackend` — a process pool, demonstrating that
+  per-rank work is genuinely independent (nothing but the immutable
+  inputs crosses the process boundary — the algorithm's no-communication
+  property, enforced by construction).
+
+Backends are registered by name; :func:`get_backend` is what the CLI's
+``--backend`` flag and the generator's string-accepting entry points use.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, Dict, List, Sequence, TypeVar, Union
 
 from repro.errors import GenerationError
+from repro.typing import Backend
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Anything accepted where a backend is expected: a registry name, a
+#: ready-made instance, or None (meaning the default serial backend).
+BackendLike = Union[str, Backend, None]
 
 
 class SerialBackend:
@@ -27,6 +41,42 @@ class SerialBackend:
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
+
+
+class ThreadBackend:
+    """Run ranks in a thread pool.
+
+    Threads share the interpreter, so ``fn`` needs no pickling; the
+    Kronecker kernel spends its time in NumPy (GIL released), so threads
+    genuinely overlap.  A fresh pool is created per ``map`` call unless
+    the backend is reused, in which case the pool persists until
+    ``shutdown()``.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or max(1, (os.cpu_count() or 1))
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        return list(pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 class MultiprocessingBackend:
@@ -54,3 +104,48 @@ class MultiprocessingBackend:
                 return pool.map(fn, items)
         except (OSError, ValueError) as exc:  # pragma: no cover - env specific
             raise GenerationError(f"multiprocessing backend failed: {exc}") from exc
+
+
+_BACKENDS: Dict[str, Callable[[], Backend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "multiprocessing": MultiprocessingBackend,
+}
+
+
+def list_backends() -> List[str]:
+    """Registered backend names, in registration order."""
+    return list(_BACKENDS)
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate a registered backend by name.
+
+    >>> get_backend("serial").name
+    'serial'
+    """
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise GenerationError(
+            f"unknown backend {name!r}; choose from {list_backends()}"
+        ) from None
+    return factory()
+
+
+def resolve_backend(backend: BackendLike) -> Backend:
+    """Normalize a backend name / instance / None to an instance.
+
+    ``None`` means the default :class:`SerialBackend`; a string is looked
+    up in the registry; anything satisfying the :class:`~repro.typing.Backend`
+    protocol passes through unchanged.
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, str):
+        return get_backend(backend)
+    if isinstance(backend, Backend):
+        return backend
+    raise GenerationError(
+        f"backend must be a name, a Backend instance, or None; got {backend!r}"
+    )

@@ -4,13 +4,19 @@ Given a :class:`~repro.parallel.partition.PartitionPlan`, every rank
 independently forms its block of the product.  Blocks report both local
 and *global* coordinates, so the union can be assembled (for validation)
 or streamed to per-rank edge files without ever holding all of ``A``.
+
+Execution goes through :class:`~repro.runtime.RankExecutor`: per-rank
+work is retried on transient failures, timed, metered, and checked for
+stragglers.  The default configuration (serial backend, no retries) is
+bit-identical to running the ranks in a plain loop.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,11 +25,20 @@ from repro.graphs.adjacency import Graph
 from repro.graphs.star import SelfLoop
 from repro.kron.chain import KroneckerChain
 from repro.kron.sparse_kron import kron
-from repro.parallel.backends import SerialBackend
+from repro.parallel.backends import BackendLike, resolve_backend
 from repro.parallel.machine import VirtualCluster
 from repro.parallel.partition import PartitionPlan, RankAssignment, partition_bc
+from repro.runtime.events import RankEvents
+from repro.runtime.executor import ExecutionResult, RankExecutor
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.tracing import Tracer
 from repro.sparse.coo import COOMatrix
 from repro.sparse.kernels import lex_sort_triples
+
+#: Elapsed times are clamped to this floor before any rate division —
+#: tiny designs on fast machines legitimately measure 0.0 at clock
+#: resolution, and a rate estimate beats an exception.
+MIN_ELAPSED_S = 1e-9
 
 
 @dataclass(frozen=True)
@@ -70,11 +85,22 @@ class ParallelKroneckerGenerator:
     cluster:
         Rank count and memory budget.
     backend:
-        A backend with a ``map(fn, items)`` method; defaults to
-        :class:`~repro.parallel.backends.SerialBackend`.
+        A backend name (``"serial"``, ``"thread"``, ``"multiprocessing"``)
+        or any :class:`~repro.typing.Backend` instance; defaults to
+        serial.
     split_index:
         Optional explicit B/C split; otherwise
         :func:`~repro.parallel.partition.choose_split` decides.
+    max_retries / rank_timeout_s:
+        Fault-tolerance budget forwarded to the
+        :class:`~repro.runtime.RankExecutor` (0 / None = fail fast, the
+        historical behaviour).
+    metrics / tracer / events:
+        Observability hooks; per-rank durations, retries, and stragglers
+        are recorded when provided.
+    executor:
+        A fully custom :class:`~repro.runtime.RankExecutor`; overrides
+        every executor-related argument above.
     """
 
     def __init__(
@@ -82,21 +108,48 @@ class ParallelKroneckerGenerator:
         chain: KroneckerChain,
         cluster: VirtualCluster,
         *,
-        backend=None,
+        backend: BackendLike = None,
         split_index: int | None = None,
+        max_retries: int = 0,
+        rank_timeout_s: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        events: RankEvents | None = None,
+        executor: RankExecutor | None = None,
+        failure_injector: Callable[[int, int], None] | None = None,
     ) -> None:
         self.chain = chain
         self.cluster = cluster
-        self.backend = backend or SerialBackend()
+        self.backend = resolve_backend(backend)
         self.plan: PartitionPlan = partition_bc(chain, cluster, split_index=split_index)
         self._c_matrix = self.plan.c_chain.materialize()
+        self.metrics = metrics
+        self.failure_injector = failure_injector
+        self.executor = executor or RankExecutor(
+            self.backend,
+            max_retries=max_retries,
+            rank_timeout_s=rank_timeout_s,
+            metrics=metrics,
+            tracer=tracer,
+            events=events,
+        )
+        self.last_execution: Optional[ExecutionResult] = None
 
     # -- generation ---------------------------------------------------------
     def generate_blocks(self) -> List[RankBlock]:
-        """Run every rank's ``Bp ⊗ C`` and return the blocks in rank order."""
+        """Run every rank's ``Bp ⊗ C`` and return the blocks in rank order.
+
+        Transient rank failures (including injected ones) are retried by
+        the executor within its budget; the per-rank accounting of the
+        run is kept in :attr:`last_execution`.
+        """
         c = self._c_matrix
         work = [(a, c) for a in self.plan.assignments]
-        results = self.backend.map(_generate_rank, work)
+        execution = self.executor.run(
+            _generate_rank, work, injector=self.failure_injector
+        )
+        self.last_execution = execution
+        results = list(execution.results)
         results.sort(key=lambda r: r[0])
         blocks = [
             RankBlock(
@@ -114,6 +167,9 @@ class ParallelKroneckerGenerator:
             raise GenerationError(
                 f"blocks hold {produced} entries, chain predicts {expected}"
             )
+        if self.metrics is not None:
+            self.metrics.counter("edges.generated").inc(produced)
+            self.metrics.gauge("edges.per_second").set(self.edges_per_second(blocks))
         return blocks
 
     def assemble(self, blocks: Sequence[RankBlock] | None = None) -> COOMatrix:
@@ -148,11 +204,13 @@ class ParallelKroneckerGenerator:
 
         Because ranks are independent (no communication), wall-clock time
         on a real machine with one core per rank is the max of per-rank
-        times — the quantity Fig. 3 plots.
+        times — the quantity Fig. 3 plots.  Elapsed is clamped to
+        :data:`MIN_ELAPSED_S` so tiny designs that measure 0.0 at clock
+        resolution report a (huge) rate rather than raising.
         """
-        slowest = max(b.elapsed_s for b in blocks)
-        if slowest <= 0:
-            raise GenerationError("rank timings are degenerate (zero elapsed)")
+        if not blocks:
+            raise GenerationError("no blocks to rate")
+        slowest = max(max(b.elapsed_s for b in blocks), MIN_ELAPSED_S)
         return sum(b.nnz for b in blocks) / slowest
 
 
@@ -160,12 +218,37 @@ def generate_design_parallel(
     design,
     n_ranks: int,
     *,
-    backend=None,
-    memory_entries: int = 50_000_000,
+    backend: BackendLike = None,
+    memory_budget_entries: int = 50_000_000,
+    max_retries: int = 0,
+    rank_timeout_s: float | None = None,
+    metrics: MetricsRegistry | None = None,
+    events: RankEvents | None = None,
+    memory_entries: int | None = None,
 ) -> Graph:
     """One-call helper: realize a :class:`~repro.design.PowerLawDesign`
-    on ``n_ranks`` simulated ranks, removing the design self-loop."""
-    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_entries)
-    gen = ParallelKroneckerGenerator(design.to_chain(), cluster, backend=backend)
+    on ``n_ranks`` simulated ranks, removing the design self-loop.
+
+    ``backend`` accepts a registry name or a backend instance;
+    ``memory_entries`` is a deprecated alias of ``memory_budget_entries``
+    and warns when used.
+    """
+    if memory_entries is not None:
+        warnings.warn(
+            "memory_entries is deprecated; use memory_budget_entries",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        memory_budget_entries = memory_entries
+    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_budget_entries)
+    gen = ParallelKroneckerGenerator(
+        design.to_chain(),
+        cluster,
+        backend=backend,
+        max_retries=max_retries,
+        rank_timeout_s=rank_timeout_s,
+        metrics=metrics,
+        events=events,
+    )
     loop_vertex = design.loop_vertex if design.self_loop is not SelfLoop.NONE else None
     return gen.generate_graph(remove_loop_at=loop_vertex)

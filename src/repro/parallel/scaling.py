@@ -26,8 +26,10 @@ from typing import List, Sequence
 from repro.errors import GenerationError
 from repro.kron.chain import KroneckerChain
 from repro.kron.sparse_kron import kron
+from repro.parallel.backends import BackendLike
 from repro.parallel.generator import ParallelKroneckerGenerator
 from repro.parallel.machine import VirtualCluster
+from repro.runtime.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -82,9 +84,24 @@ class ScalingStudy:
         return "\n".join(lines)
 
 
-def measure_rank_rate(chain: KroneckerChain, cluster: VirtualCluster) -> ScalingPoint:
+def measure_rank_rate(
+    chain: KroneckerChain,
+    cluster: VirtualCluster,
+    *,
+    backend: BackendLike = None,
+    max_retries: int = 0,
+    rank_timeout_s: float | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> ScalingPoint:
     """Generate ``chain`` on ``cluster`` and time every rank's kernel."""
-    gen = ParallelKroneckerGenerator(chain, cluster)
+    gen = ParallelKroneckerGenerator(
+        chain,
+        cluster,
+        backend=backend,
+        max_retries=max_retries,
+        rank_timeout_s=rank_timeout_s,
+        metrics=metrics,
+    )
     blocks = gen.generate_blocks()
     times = [b.elapsed_s for b in blocks]
     total = sum(b.nnz for b in blocks)
@@ -103,12 +120,25 @@ def run_scaling_study(
     rank_counts: Sequence[int],
     *,
     memory_entries: int = 50_000_000,
+    backend: BackendLike = None,
+    max_retries: int = 0,
+    rank_timeout_s: float | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ScalingStudy:
     """Sweep ``rank_counts`` and collect the scaling curve for ``chain``."""
     study = ScalingStudy()
     for n in rank_counts:
         cluster = VirtualCluster(n_ranks=int(n), memory_entries=memory_entries)
-        study.points.append(measure_rank_rate(chain, cluster))
+        study.points.append(
+            measure_rank_rate(
+                chain,
+                cluster,
+                backend=backend,
+                max_retries=max_retries,
+                rank_timeout_s=rank_timeout_s,
+                metrics=metrics,
+            )
+        )
     return study
 
 

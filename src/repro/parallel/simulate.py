@@ -23,6 +23,7 @@ from repro.design.star_design import PowerLawDesign
 from repro.errors import PartitionError
 from repro.kron.sparse_kron import kron
 from repro.parallel.partition import partition_b_triples
+from repro.runtime.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -73,12 +74,15 @@ def simulate_rate_curve(
     split_index: int | None = None,
     max_block_entries: int = 40_000_000,
     repeats: int = 1,
+    metrics: MetricsRegistry | None = None,
 ) -> SimulatedCurve:
     """Measure the true rank-0 workload of ``design`` at each core count.
 
     ``split_index`` defaults to the last factor boundary that keeps C
     materializable; the same B/C split is used at every core count (as
-    in the paper, where B and C are fixed and only Np varies).
+    in the paper, where B and C are fixed and only Np varies).  With
+    ``metrics``, every measured point lands in the ``simulate.rank_s``
+    histogram and the skip count in ``simulate.points_skipped``.
     """
     chain = design.to_chain()
     nnzs = [f.nnz for f in chain.factors]
@@ -126,6 +130,8 @@ def simulate_rate_curve(
                     skip_reason=f"need 1 <= cores <= nnz(B)={b.nnz:,}",
                 )
             )
+            if metrics is not None:
+                metrics.counter("simulate.points_skipped").inc()
             continue
         assignment = partition_b_triples(b, cores)[0]
         block_entries = assignment.nnz * c.nnz
@@ -143,6 +149,8 @@ def simulate_rate_curve(
                     ),
                 )
             )
+            if metrics is not None:
+                metrics.counter("simulate.points_skipped").inc()
             continue
         best = float("inf")
         produced = 0
@@ -151,6 +159,8 @@ def simulate_rate_curve(
             block = kron(assignment.b_local, c)
             best = min(best, time.perf_counter() - t0)
             produced = block.nnz
+        if metrics is not None:
+            metrics.histogram("simulate.rank_s").observe(best)
         points.append(
             CurvePoint(
                 cores=cores,

@@ -16,6 +16,7 @@ at most ONE rank block in memory at a time:
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Sequence
@@ -28,6 +29,8 @@ from repro.errors import GenerationError
 from repro.kron.sparse_kron import kron
 from repro.parallel.machine import VirtualCluster
 from repro.parallel.partition import PartitionPlan, partition_bc
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.tracing import Tracer
 from repro.validate.degree_check import DegreeCheck, check_degree_distribution
 
 
@@ -93,12 +96,16 @@ def generate_to_disk(
     *,
     memory_entries: int = 50_000_000,
     prefix: str = "edges",
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> StreamSummary:
     """Generate ``design`` rank by rank, writing per-rank TSV files.
 
     Holds exactly one block at a time; the design self-loop (if any) is
     removed from the owning rank's block before writing, so the files
-    are the *final* graph.
+    are the *final* graph.  When ``metrics``/``tracer`` are given, every
+    rank's kernel+write is timed into ``stream.rank_s`` and wrapped in a
+    ``stream.rank`` span.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -112,22 +119,34 @@ def generate_to_disk(
     total = 0
     max_block = 0
     for assignment in plan.assignments:
-        block = kron(assignment.b_local, c)
-        offset = assignment.col_base * c.shape[1]
-        rows, cols, vals = block.rows, block.cols + offset, block.vals
-        if loop_vertex is not None:
-            hit = (rows == loop_vertex) & (cols == loop_vertex)
-            if hit.any():
-                keep = ~hit
-                rows, cols, vals = rows[keep], cols[keep], vals[keep]
-        path = directory / f"{prefix}.{assignment.rank}.tsv"
-        with open(path, "w", encoding="ascii") as fh:
-            for r, cc, v in zip(rows, cols, vals):
-                fh.write(f"{int(r)}\t{int(cc)}\t{int(v)}\n")
+        rank_t0 = time.perf_counter()
+        span_cm = (
+            tracer.span("stream.rank", rank=assignment.rank)
+            if tracer is not None
+            else nullcontext()
+        )
+        with span_cm:
+            block = kron(assignment.b_local, c)
+            offset = assignment.col_base * c.shape[1]
+            rows, cols, vals = block.rows, block.cols + offset, block.vals
+            if loop_vertex is not None:
+                hit = (rows == loop_vertex) & (cols == loop_vertex)
+                if hit.any():
+                    keep = ~hit
+                    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+            path = directory / f"{prefix}.{assignment.rank}.tsv"
+            with open(path, "w", encoding="ascii") as fh:
+                for r, cc, v in zip(rows, cols, vals):
+                    fh.write(f"{int(r)}\t{int(cc)}\t{int(v)}\n")
+        if metrics is not None:
+            metrics.histogram("stream.rank_s").observe(time.perf_counter() - rank_t0)
+            metrics.counter("stream.edges_written").inc(len(rows))
         files.append(str(path))
         total += len(rows)
         max_block = max(max_block, len(rows))
     elapsed = time.perf_counter() - t0
+    if metrics is not None:
+        metrics.gauge("stream.total_s").set(elapsed)
     if total != design.num_edges:
         raise GenerationError(
             f"streamed {total} edges; design predicts {design.num_edges}"

@@ -1,0 +1,63 @@
+"""Fault-tolerant, observable rank execution (the runtime layer).
+
+The paper's Section-V generator is communication-free, which makes every
+rank an independently retryable, measurable unit of work.  This package
+is the execution/observability layer the rest of the system plugs into:
+
+* :mod:`repro.runtime.metrics` — in-process counters/gauges/histograms
+  with JSON snapshots (zero hard dependencies);
+* :mod:`repro.runtime.tracing` — nestable span contexts with a pluggable
+  sink (in-memory ring buffer by default);
+* :mod:`repro.runtime.executor` — :class:`RankExecutor`: per-rank
+  timeout, bounded retry with exponential backoff + jitter, transient vs
+  fatal failure classification, straggler detection;
+* :mod:`repro.runtime.events` — progress callbacks the CLI consumes for
+  live per-rank output.
+"""
+
+from repro.runtime.events import ConsoleProgress, RankEvents
+from repro.runtime.executor import (
+    ExecutionResult,
+    FailureInjector,
+    RankAttempt,
+    RankExecutor,
+    RankReport,
+)
+from repro.runtime.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    write_snapshot,
+)
+from repro.runtime.tracing import (
+    DEFAULT_TRACER,
+    ListSink,
+    RingBufferSink,
+    Span,
+    Tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "write_snapshot",
+    "Span",
+    "Tracer",
+    "RingBufferSink",
+    "ListSink",
+    "DEFAULT_TRACER",
+    "span",
+    "RankExecutor",
+    "ExecutionResult",
+    "RankReport",
+    "RankAttempt",
+    "FailureInjector",
+    "RankEvents",
+    "ConsoleProgress",
+]

@@ -1,0 +1,407 @@
+"""Fault-tolerant, observable execution of per-rank work.
+
+The paper's generator is communication-free by construction, so every
+rank is an independently retryable, measurable unit of work.
+:class:`RankExecutor` wraps any :class:`~repro.typing.Backend` with:
+
+* **bounded retry** — transient failures are retried up to
+  ``max_retries`` times with exponential backoff plus jitter;
+* **failure classification** — :class:`~repro.errors.FatalRankError`
+  aborts immediately; every other exception is treated as transient
+  (the optimistic default: a rank that failed on one node may succeed
+  on the next try);
+* **cooperative per-rank timeout** — synchronous backends cannot
+  preempt a worker, so an attempt whose measured elapsed exceeds
+  ``rank_timeout_s`` is *classified* as a
+  :class:`~repro.errors.RankTimeoutError` (its result is discarded and
+  the rank is retried);
+* **straggler detection** — ranks slower than
+  ``straggler_factor`` × the median successful time are reported;
+* **observability** — per-rank durations land in a
+  :class:`~repro.runtime.metrics.MetricsRegistry`, spans in a
+  :class:`~repro.runtime.tracing.Tracer`, and live progress in a
+  :class:`~repro.runtime.events.RankEvents` bag.
+
+Clock, sleep, and RNG are injectable, so retry/backoff behaviour is unit
+tested with a deterministic fake clock and zero real sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import (
+    FatalRankError,
+    RankTimeoutError,
+    RetryExhaustedError,
+    TransientRankError,
+)
+from repro.runtime.events import RankEvents
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.tracing import Tracer
+from repro.typing import Backend
+
+
+class FailureInjector:
+    """Deterministically fail chosen ranks for their first N attempts.
+
+    The injector is called *inside* the worker before the real work, so
+    it exercises the full retry path of any backend.  It is stateless
+    (failure is a function of ``(rank, attempt)``), which is what makes
+    it correct across process boundaries where shared counters would not
+    survive.
+    """
+
+    def __init__(
+        self,
+        fail_ranks: Sequence[int],
+        *,
+        fail_attempts: int = 1,
+        fatal: bool = False,
+        message: str = "injected rank failure",
+    ) -> None:
+        self.fail_ranks = frozenset(int(r) for r in fail_ranks)
+        self.fail_attempts = fail_attempts
+        self.fatal = fatal
+        self.message = message
+
+    def __call__(self, rank: int, attempt: int) -> None:
+        if rank in self.fail_ranks and attempt < self.fail_attempts:
+            cls = FatalRankError if self.fatal else TransientRankError
+            raise cls(f"{self.message} (rank {rank}, attempt {attempt})")
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One attempt's worth of work, picklable for process pools."""
+
+    index: int
+    fn: Callable
+    item: object
+    attempt: int
+    clock: Callable[[], float]
+    injector: Optional[Callable[[int, int], None]] = None
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """What came back from one attempt (errors travel as strings so the
+    outcome pickles regardless of the user exception type)."""
+
+    index: int
+    ok: bool
+    value: object
+    elapsed_s: float
+    error_kind: str = ""  # "transient" | "fatal" | "timeout"
+    error_text: str = ""
+
+
+def _guarded_call(task: _Task) -> _Outcome:
+    """Worker wrapper: run one attempt, classify any failure.
+
+    Module-level so process pools can pickle it.
+    """
+    t0 = task.clock()
+    try:
+        if task.injector is not None:
+            task.injector(task.index, task.attempt)
+        value = task.fn(task.item)
+    except FatalRankError as exc:
+        return _Outcome(
+            index=task.index,
+            ok=False,
+            value=None,
+            elapsed_s=task.clock() - t0,
+            error_kind="fatal",
+            error_text=f"{type(exc).__name__}: {exc}",
+        )
+    except Exception as exc:  # everything else is optimistically transient
+        return _Outcome(
+            index=task.index,
+            ok=False,
+            value=None,
+            elapsed_s=task.clock() - t0,
+            error_kind="transient",
+            error_text=f"{type(exc).__name__}: {exc}",
+        )
+    return _Outcome(
+        index=task.index, ok=True, value=value, elapsed_s=task.clock() - t0
+    )
+
+
+@dataclass(frozen=True)
+class RankAttempt:
+    """One attempt's accounting."""
+
+    attempt: int
+    ok: bool
+    elapsed_s: float
+    error: str = ""
+
+
+@dataclass
+class RankReport:
+    """Everything that happened to one rank across all its attempts."""
+
+    rank: int
+    attempts: List[RankAttempt] = field(default_factory=list)
+    straggler: bool = False
+
+    @property
+    def retries(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Elapsed of the final (successful) attempt."""
+        return self.attempts[-1].elapsed_s if self.attempts else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "elapsed_s": self.elapsed_s,
+            "retries": self.retries,
+            "straggler": self.straggler,
+            "attempts": [
+                {
+                    "attempt": a.attempt,
+                    "ok": a.ok,
+                    "elapsed_s": a.elapsed_s,
+                    "error": a.error,
+                }
+                for a in self.attempts
+            ],
+        }
+
+
+@dataclass
+class ExecutionResult:
+    """Ordered results plus the full per-rank execution report."""
+
+    results: List
+    reports: List[RankReport]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.reports)
+
+    @property
+    def stragglers(self) -> List[int]:
+        return [r.rank for r in self.reports if r.straggler]
+
+    def to_dict(self) -> dict:
+        return {
+            "total_retries": self.total_retries,
+            "stragglers": self.stragglers,
+            "ranks": [r.to_dict() for r in self.reports],
+        }
+
+
+class RankExecutor:
+    """Runs rank work on a backend with retry, timeout, and accounting.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`~repro.typing.Backend`.
+    max_retries:
+        Extra attempts allowed per rank after the first (0 = fail fast).
+    rank_timeout_s:
+        Cooperative per-rank timeout; ``None`` disables it.
+    straggler_factor:
+        Ranks slower than this multiple of the median successful elapsed
+        are flagged (and reported via ``events.on_straggler``).
+    backoff_base_s / backoff_cap_s / jitter:
+        Retry delay is ``min(cap, base * 2**attempt) * (1 + jitter * U)``
+        with ``U ~ Uniform[0, 1)`` from the injectable ``rng``.
+    metrics / tracer / events:
+        Observability hooks; all optional.
+    clock / sleep / rng:
+        Injectable time sources for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        *,
+        max_retries: int = 0,
+        rank_timeout_s: float | None = None,
+        straggler_factor: float = 3.0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        jitter: float = 0.5,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        events: RankEvents | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise TransientRankError(f"max_retries must be >= 0, got {max_retries}")
+        if rank_timeout_s is not None and rank_timeout_s <= 0:
+            raise TransientRankError(
+                f"rank_timeout_s must be positive, got {rank_timeout_s}"
+            )
+        self.backend = backend
+        self.max_retries = max_retries
+        self.rank_timeout_s = rank_timeout_s
+        self.straggler_factor = straggler_factor
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.jitter = jitter
+        self.metrics = metrics
+        self.tracer = tracer
+        self.events = events or RankEvents()
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+
+    # -- internals -----------------------------------------------------------
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt + 1`` (attempt is 0-based)."""
+        base = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def _classify(self, outcome: _Outcome) -> _Outcome:
+        """Apply the cooperative timeout on top of the worker's verdict."""
+        if (
+            outcome.ok
+            and self.rank_timeout_s is not None
+            and outcome.elapsed_s > self.rank_timeout_s
+        ):
+            return _Outcome(
+                index=outcome.index,
+                ok=False,
+                value=None,
+                elapsed_s=outcome.elapsed_s,
+                error_kind="timeout",
+                error_text=(
+                    f"RankTimeoutError: rank {outcome.index} took "
+                    f"{outcome.elapsed_s:.4f}s > timeout {self.rank_timeout_s}s"
+                ),
+            )
+        return outcome
+
+    # -- execution -----------------------------------------------------------
+    def run(
+        self,
+        fn: Callable,
+        items: Sequence,
+        *,
+        injector: Callable[[int, int], None] | None = None,
+    ) -> ExecutionResult:
+        """Run ``fn`` over ``items``, retrying transient failures.
+
+        Returns results in item order.  Raises
+        :class:`~repro.errors.FatalRankError` on a fatal failure and
+        :class:`~repro.errors.RetryExhaustedError` when a rank keeps
+        failing past its retry budget.
+        """
+        items = list(items)
+        n = len(items)
+        results: List = [None] * n
+        reports = [RankReport(rank=i) for i in range(n)]
+        if self.metrics is not None:
+            self.metrics.gauge("ranks.total").set(n)
+
+        def execute() -> None:
+            pending = list(range(n))
+            attempt = 0
+            while pending:
+                for i in pending:
+                    self.events.rank_start(i, attempt)
+                tasks = [
+                    _Task(
+                        index=i,
+                        fn=fn,
+                        item=items[i],
+                        attempt=attempt,
+                        clock=self._clock,
+                        injector=injector,
+                    )
+                    for i in pending
+                ]
+                outcomes = [self._classify(o) for o in self.backend.map(_guarded_call, tasks)]
+                retry_delay = 0.0
+                next_pending: List[int] = []
+                for outcome in outcomes:
+                    idx = outcome.index
+                    reports[idx].attempts.append(
+                        RankAttempt(
+                            attempt=attempt,
+                            ok=outcome.ok,
+                            elapsed_s=outcome.elapsed_s,
+                            error=outcome.error_text,
+                        )
+                    )
+                    if outcome.ok:
+                        results[idx] = outcome.value
+                        if self.metrics is not None:
+                            self.metrics.counter("ranks.completed").inc()
+                            self.metrics.histogram("rank.elapsed_s").observe(
+                                outcome.elapsed_s
+                            )
+                        self.events.rank_done(idx, outcome.elapsed_s, attempt)
+                        continue
+                    if outcome.error_kind == "fatal":
+                        if self.metrics is not None:
+                            self.metrics.counter("ranks.failed_fatal").inc()
+                        raise FatalRankError(
+                            f"rank {idx} failed fatally on attempt "
+                            f"{attempt + 1}: {outcome.error_text}"
+                        )
+                    if attempt >= self.max_retries:
+                        if self.metrics is not None:
+                            self.metrics.counter("ranks.failed_exhausted").inc()
+                        raise RetryExhaustedError(
+                            f"rank {idx} failed {attempt + 1} time(s), retry "
+                            f"budget {self.max_retries} exhausted: "
+                            f"{outcome.error_text}"
+                        )
+                    if self.metrics is not None:
+                        self.metrics.counter("ranks.retried").inc()
+                        if outcome.error_kind == "timeout":
+                            self.metrics.counter("ranks.timeout").inc()
+                    delay = self.backoff_delay(attempt)
+                    retry_delay = max(retry_delay, delay)
+                    error: TransientRankError = (
+                        RankTimeoutError(outcome.error_text)
+                        if outcome.error_kind == "timeout"
+                        else TransientRankError(outcome.error_text)
+                    )
+                    self.events.retry(idx, attempt, delay, error)
+                    next_pending.append(idx)
+                if next_pending:
+                    self._sleep(retry_delay)
+                pending = next_pending
+                attempt += 1
+
+        if self.tracer is not None:
+            with self.tracer.span("executor.run", ranks=n, backend=self.backend.name):
+                execute()
+        else:
+            execute()
+
+        self._flag_stragglers(reports)
+        return ExecutionResult(results=results, reports=reports)
+
+    def _flag_stragglers(self, reports: List[RankReport]) -> None:
+        """Flag ranks whose final elapsed exceeds k× the median."""
+        elapsed = [r.elapsed_s for r in reports if r.attempts and r.attempts[-1].ok]
+        if len(elapsed) < 2:
+            return
+        median = statistics.median(elapsed)
+        if median <= 0:
+            return
+        threshold = self.straggler_factor * median
+        for r in reports:
+            if r.attempts and r.attempts[-1].ok and r.elapsed_s > threshold:
+                r.straggler = True
+                if self.metrics is not None:
+                    self.metrics.counter("ranks.stragglers").inc()
+                self.events.straggler(r.rank, r.elapsed_s, median)

@@ -1,0 +1,197 @@
+"""In-process metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a plain dictionary of named instruments
+with zero hard dependencies — snapshots are JSON-ready ``dict`` objects,
+so a run's accounting can be written next to its artifacts and diffed
+across commits (the machine-readable perf trajectory the benchmarks
+emit).
+
+Instruments are created lazily on first touch::
+
+    registry = MetricsRegistry()
+    registry.counter("ranks.completed").inc()
+    registry.gauge("ranks.total").set(8)
+    registry.histogram("rank.elapsed_s").observe(0.012)
+    registry.snapshot()          # plain dict
+    registry.to_json(indent=2)   # JSON text
+
+Thread safety: instrument mutation takes a registry-wide lock, so the
+thread backend can record from workers; multiprocessing workers must
+record in the coordinator (results carry timings back).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import IOFormatError, ReproError
+
+#: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS: tuple = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can move in either direction."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max accounting.
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    tail.  Bucket counts are cumulative in the snapshot (Prometheus
+    convention), which makes quantile estimation and merging trivial.
+    """
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ReproError(f"histogram {name!r} needs sorted, non-empty buckets")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # +Inf tail
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict:
+        cumulative: List[int] = []
+        running = 0
+        for c in self._counts:
+            running += c
+            cumulative.append(running)
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                **{f"le_{b:g}": n for b, n in zip(self.buckets, cumulative)},
+                "le_inf": cumulative[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily, snapshotted atomically."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(name, buckets))
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """A JSON-ready view of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {n: c.snapshot() for n, c in self._counters.items()},
+                "gauges": {n: g.snapshot() for n, g in self._gauges.items()},
+                "histograms": {
+                    n: h.snapshot() for n, h in self._histograms.items()
+                },
+            }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every instrument (mainly for tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def write_snapshot(path, snapshot: Mapping) -> str:
+    """Write a snapshot-shaped mapping as pretty JSON; returns the path.
+
+    Accepts any JSON-serializable mapping so callers can merge a registry
+    snapshot with run-level extras (per-rank reports, rates) before
+    writing.
+    """
+    text = json.dumps(snapshot, indent=2, sort_keys=True, default=str)
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    except OSError as exc:
+        raise IOFormatError(f"cannot write metrics snapshot to {path}: {exc}") from exc
+    return str(path)

@@ -1,0 +1,160 @@
+"""Nestable span tracing with a pluggable sink.
+
+A span measures one unit of work::
+
+    tracer = Tracer()
+    with tracer.span("generate", ranks=8):
+        with tracer.span("rank.generate", rank=3):
+            ...
+
+Spans record wall-time, arbitrary attributes, nesting depth, and their
+parent's name; finished spans go to a sink.  The default sink is a
+bounded in-memory ring buffer (old spans drop first), so tracing is
+always on without ever growing unbounded.  A module-level default tracer
+backs the bare :func:`span` helper for callers that don't thread a
+tracer through.
+
+Clocks are injectable, so tests assert exact durations without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Protocol
+
+from repro.errors import ReproError
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced operation."""
+
+    name: str
+    start_s: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+    parent: Optional[str] = None
+    depth: int = 0
+    end_s: Optional[float] = None
+
+    @property
+    def elapsed_s(self) -> float:
+        if self.end_s is None:
+            raise ReproError(f"span {self.name!r} has not finished")
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "elapsed_s": self.elapsed_s,
+            "attributes": dict(self.attributes),
+        }
+
+
+class SpanSink(Protocol):
+    """Anything that accepts finished spans."""
+
+    def record(self, span: Span) -> None: ...
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` finished spans."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ReproError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._spans: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self, name: str | None = None) -> List[Span]:
+        with self._lock:
+            spans = list(self._spans)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class ListSink:
+    """Unbounded sink (tests / short runs)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def record(self, span: Span) -> None:
+        self.spans.append(span)
+
+
+class Tracer:
+    """Creates nested spans and ships finished ones to a sink.
+
+    Nesting is tracked per-thread, so worker threads each get their own
+    stack and parent/child links never cross threads.
+    """
+
+    def __init__(
+        self,
+        sink: SpanSink | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.sink = sink if sink is not None else RingBufferSink()
+        self._clock = clock
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        record = Span(
+            name=name,
+            start_s=self._clock(),
+            attributes=dict(attributes),
+            parent=parent.name if parent else None,
+            depth=len(stack),
+        )
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end_s = self._clock()
+            stack.pop()
+            self.sink.record(record)
+
+
+#: Shared default tracer backing the bare :func:`span` helper.
+DEFAULT_TRACER = Tracer()
+
+
+def span(name: str, **attributes: object):
+    """``with span("rank.generate", rank=3):`` on the default tracer."""
+    return DEFAULT_TRACER.span(name, **attributes)

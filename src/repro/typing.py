@@ -13,10 +13,43 @@ Aliases here make that split visible in signatures.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import (
+    Callable,
+    List,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 import numpy.typing as npt
+
+_T_contra = TypeVar("_T_contra", contravariant=True)
+_R_co = TypeVar("_R_co", covariant=True)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The formal contract every execution backend satisfies.
+
+    A backend maps a per-rank work function over rank inputs and returns
+    the results in input order.  Implementations may additionally expose
+    ``shutdown()`` to release pooled resources; callers must treat it as
+    optional (``getattr(backend, "shutdown", lambda: None)()``).
+    """
+
+    #: Registry key and display name ("serial", "thread", ...).
+    name: str
+
+    def map(
+        self, fn: Callable[[_T_contra], _R_co], items: Sequence[_T_contra]
+    ) -> List[_R_co]:
+        """Apply ``fn`` to every item, preserving order."""
+        ...
+
 
 #: An exact (arbitrary-precision) count: vertices, edges, triangles...
 ExactInt = int

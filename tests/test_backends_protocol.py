@@ -1,0 +1,100 @@
+"""Backend-protocol conformance tests, parametrized over all backends."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.parallel import (
+    MultiprocessingBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    list_backends,
+    resolve_backend,
+)
+from repro.typing import Backend
+
+ALL_BACKENDS = [SerialBackend, ThreadBackend, MultiprocessingBackend]
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.fixture(params=ALL_BACKENDS, ids=lambda cls: cls.name)
+def backend(request):
+    instance = request.param()
+    yield instance
+    getattr(instance, "shutdown", lambda: None)()
+
+
+class TestProtocolConformance:
+    def test_satisfies_backend_protocol(self, backend):
+        assert isinstance(backend, Backend)
+
+    def test_has_registry_name(self, backend):
+        assert backend.name in list_backends()
+
+    def test_map_preserves_order(self, backend):
+        assert backend.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_map_empty(self, backend):
+        assert backend.map(_square, []) == []
+
+    def test_map_accepts_any_sequence(self, backend):
+        assert backend.map(_square, (2, 4)) == [4, 16]
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        assert list_backends() == ["serial", "thread", "multiprocessing"]
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "multiprocessing"])
+    def test_get_backend_returns_fresh_instance(self, name):
+        a, b = get_backend(name), get_backend(name)
+        assert a.name == name
+        assert a is not b
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GenerationError, match="unknown backend"):
+            get_backend("carrier-pigeon")
+
+    def test_resolve_none_is_serial(self):
+        assert resolve_backend(None).name == "serial"
+
+    def test_resolve_name(self):
+        assert resolve_backend("thread").name == "thread"
+
+    def test_resolve_instance_passthrough(self):
+        instance = SerialBackend()
+        assert resolve_backend(instance) is instance
+
+    def test_resolve_rejects_non_backend(self):
+        with pytest.raises(GenerationError):
+            resolve_backend(42)
+
+
+class TestThreadBackend:
+    def test_pool_reused_until_shutdown(self):
+        backend = ThreadBackend(max_workers=2)
+        backend.map(_square, [1, 2])
+        pool = backend._pool
+        backend.map(_square, [3])
+        assert backend._pool is pool
+        backend.shutdown()
+        assert backend._pool is None
+
+    def test_shutdown_idempotent(self):
+        backend = ThreadBackend()
+        backend.shutdown()
+        backend.shutdown()
+
+    def test_generator_end_to_end(self):
+        from repro.graphs import star_adjacency
+        from repro.kron import KroneckerChain
+        from repro.parallel import ParallelKroneckerGenerator, VirtualCluster
+
+        chain = KroneckerChain([star_adjacency(3), star_adjacency(4), star_adjacency(5)])
+        gen = ParallelKroneckerGenerator(
+            chain, VirtualCluster(4), backend=ThreadBackend(max_workers=2)
+        )
+        assert gen.assemble().equal(chain.materialize())

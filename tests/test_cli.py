@@ -33,6 +33,38 @@ class TestGenerateCommand:
     def test_generate_without_output(self, capsys):
         assert main(["generate", "3", "4", "--ranks", "2"]) == 0
 
+    def test_generate_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "generate", "3", "4", "5",
+                    "--ranks", "3",
+                    "--max-retries", "2",
+                    "--metrics-out", str(path),
+                ]
+            )
+            == 0
+        )
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["ranks.completed"] == 3
+        run = snapshot["run"]
+        assert run["edges_per_second"] > 0
+        ranks = run["execution"]["ranks"]
+        assert len(ranks) == 3
+        assert all("elapsed_s" in r and "retries" in r for r in ranks)
+
+    def test_generate_backend_flag(self, capsys):
+        assert main(["generate", "3", "4", "--ranks", "2", "--backend", "thread"]) == 0
+        assert "simulated aggregate rate" in capsys.readouterr().out
+
+    def test_generate_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "3", "4", "--backend", "smoke-signals"])
+
 
 class TestValidateCommand:
     def test_passing_validation(self, capsys):
@@ -45,6 +77,20 @@ class TestScaleCommand:
         assert main(["scale", "3", "4", "5", "--ranks", "1", "2"]) == 0
         out = capsys.readouterr().out
         assert "cores" in out and "rate" in out
+
+    def test_sweep_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "scale.json"
+        assert (
+            main(["scale", "3", "4", "--ranks", "1", "2", "--metrics-out", str(path)])
+            == 0
+        )
+        snapshot = json.loads(path.read_text())
+        assert snapshot["run"]["command"] == "scale"
+        assert len(snapshot["run"]["sweep"]) == 2
+        # 1-rank + 2-rank runs -> 3 rank completions recorded.
+        assert snapshot["counters"]["ranks.completed"] == 3
 
 
 class TestSpectrumCommand:

@@ -11,7 +11,9 @@ import numpy as np
 import pytest
 
 from repro.design import DegreeDistribution, PowerLawDesign
+from repro.errors import FatalRankError, RetryExhaustedError
 from repro.graphs import Graph
+from repro.runtime import FailureInjector
 from repro.parallel import (
     ParallelKroneckerGenerator,
     VirtualCluster,
@@ -178,6 +180,73 @@ class TestStreamedValidationCatches:
         files = list(summary.files) + [summary.files[0]]
         measured = read_streamed_degree_distribution(files, DESIGN.num_vertices)
         assert measured != DESIGN.degree_distribution
+
+
+class TestRetryRecoversFromInjectedFailures:
+    """Injected rank failures must be retried and succeed, not abort."""
+
+    def _generator(self, **kwargs):
+        return ParallelKroneckerGenerator(
+            DESIGN.to_chain(), VirtualCluster(4), **kwargs
+        )
+
+    def test_injected_failures_recovered_and_assembly_exact(self):
+        chain = DESIGN.to_chain()
+        gen = self._generator(
+            max_retries=2,
+            failure_injector=FailureInjector([0, 2], fail_attempts=1),
+        )
+        assembled = gen.assemble()
+        assert assembled.nnz == chain.nnz
+        assert assembled.equal(chain.materialize())
+        assert gen.last_execution.total_retries == 2
+        assert [r.retries for r in gen.last_execution.reports] == [1, 0, 1, 0]
+
+    def test_every_rank_failing_once_still_succeeds(self):
+        gen = self._generator(
+            max_retries=1,
+            failure_injector=FailureInjector([0, 1, 2, 3], fail_attempts=1),
+        )
+        blocks = gen.generate_blocks()
+        assert sum(b.nnz for b in blocks) == DESIGN.to_chain().nnz
+
+    def test_without_retry_budget_injection_aborts(self):
+        gen = self._generator(
+            max_retries=0, failure_injector=FailureInjector([1])
+        )
+        with pytest.raises(RetryExhaustedError):
+            gen.generate_blocks()
+
+    def test_fatal_injection_not_retried(self):
+        gen = self._generator(
+            max_retries=5,
+            failure_injector=FailureInjector([2], fatal=True),
+        )
+        with pytest.raises(FatalRankError):
+            gen.generate_blocks()
+
+    def test_retries_survive_multiprocessing_boundary(self):
+        from repro.parallel import MultiprocessingBackend
+
+        chain = DESIGN.to_chain()
+        gen = ParallelKroneckerGenerator(
+            chain,
+            VirtualCluster(4),
+            backend=MultiprocessingBackend(processes=2),
+            max_retries=2,
+            failure_injector=FailureInjector([1, 3], fail_attempts=1),
+        )
+        assert gen.assemble().nnz == chain.nnz
+        assert gen.last_execution.total_retries == 2
+
+    def test_recovered_run_passes_partition_audit(self):
+        gen = self._generator(
+            max_retries=2, failure_injector=FailureInjector([0], fail_attempts=2)
+        )
+        blocks = gen.generate_blocks()
+        audit = audit_partition(gen.plan, blocks, DESIGN.raw_nnz)
+        assert audit.complete
+        assert audit.disjoint
 
 
 class TestEndToEndReportCatches:

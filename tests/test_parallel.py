@@ -146,11 +146,55 @@ class TestGenerator:
         blocks = gen.generate_blocks()
         assert gen.edges_per_second(blocks) > 0
 
+    def test_edges_per_second_clamps_zero_elapsed(self):
+        # Tiny designs on fast machines can legitimately measure 0.0 at
+        # clock resolution; the rate must clamp, not raise.
+        from dataclasses import replace
+
+        gen = ParallelKroneckerGenerator(chain345(), VirtualCluster(2))
+        blocks = [replace(b, elapsed_s=0.0) for b in gen.generate_blocks()]
+        rate = gen.edges_per_second(blocks)
+        total = sum(b.nnz for b in blocks)
+        assert rate == pytest.approx(total / 1e-9)
+
+    def test_edges_per_second_rejects_no_blocks(self):
+        from repro.errors import GenerationError
+
+        gen = ParallelKroneckerGenerator(chain345(), VirtualCluster(2))
+        with pytest.raises(GenerationError):
+            gen.edges_per_second([])
+
+    def test_backend_accepted_by_name(self):
+        chain = chain345()
+        gen = ParallelKroneckerGenerator(chain, VirtualCluster(3), backend="thread")
+        assert gen.backend.name == "thread"
+        assert gen.assemble().equal(chain.materialize())
+
     def test_helper_matches_serial_realization(self):
         for loop in (None, "center", "leaf"):
             design = PowerLawDesign([3, 2, 4], loop)
             g = generate_design_parallel(design, 5)
             assert g == design.realize()
+
+    def test_helper_accepts_backend_name(self):
+        design = PowerLawDesign([3, 4], "center")
+        g = generate_design_parallel(design, 3, backend="thread")
+        assert g == design.realize()
+
+    def test_helper_memory_entries_deprecated(self):
+        design = PowerLawDesign([3, 4], "center")
+        with pytest.warns(DeprecationWarning, match="memory_budget_entries"):
+            g = generate_design_parallel(design, 2, memory_entries=10**6)
+        assert g == design.realize()
+
+    def test_helper_memory_budget_entries_no_warning(self):
+        import warnings
+
+        design = PowerLawDesign([3, 4], "center")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            g = generate_design_parallel(design, 2, memory_budget_entries=10**6)
+        assert g == design.realize()
 
 
 class TestBackends:

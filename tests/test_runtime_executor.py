@@ -1,0 +1,275 @@
+"""Unit tests for :class:`repro.runtime.RankExecutor`.
+
+All timing uses a deterministic fake clock; no test sleeps for real.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    FatalRankError,
+    RetryExhaustedError,
+    TransientRankError,
+)
+from repro.parallel import SerialBackend
+from repro.runtime import (
+    FailureInjector,
+    MetricsRegistry,
+    RankEvents,
+    RankExecutor,
+)
+from repro.runtime.tracing import ListSink, Tracer
+
+
+class FakeClock:
+    """Manually advanced clock shared by the executor and the work fn."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_executor(clock=None, sleeps=None, **kwargs):
+    clock = clock or FakeClock()
+    sleeps = sleeps if sleeps is not None else []
+    kwargs.setdefault("jitter", 0.0)
+    executor = RankExecutor(
+        SerialBackend(),
+        clock=clock,
+        sleep=sleeps.append,
+        rng=random.Random(0),
+        **kwargs,
+    )
+    return executor, clock, sleeps
+
+
+class TestHappyPath:
+    def test_results_in_item_order(self):
+        executor, _, _ = make_executor()
+        result = executor.run(lambda x: x * 10, [1, 2, 3])
+        assert result.results == [10, 20, 30]
+        assert result.total_retries == 0
+        assert all(len(r.attempts) == 1 for r in result.reports)
+
+    def test_elapsed_measured_with_fake_clock(self):
+        executor, clock, _ = make_executor()
+
+        def work(dt):
+            clock.advance(dt)
+            return dt
+
+        result = executor.run(work, [0.5, 2.0])
+        assert [r.elapsed_s for r in result.reports] == [0.5, 2.0]
+
+    def test_empty_items(self):
+        executor, _, _ = make_executor()
+        result = executor.run(lambda x: x, [])
+        assert result.results == [] and result.reports == []
+
+
+class TestRetry:
+    def test_transient_failure_retried_and_succeeds(self):
+        executor, _, sleeps = make_executor(max_retries=2)
+        injector = FailureInjector([1], fail_attempts=1)
+        result = executor.run(lambda x: x, ["a", "b", "c"], injector=injector)
+        assert result.results == ["a", "b", "c"]
+        assert result.reports[1].retries == 1
+        assert not result.reports[1].attempts[0].ok
+        assert result.reports[1].attempts[1].ok
+        assert len(sleeps) == 1
+
+    def test_backoff_doubles_per_attempt(self):
+        executor, _, sleeps = make_executor(
+            max_retries=3, backoff_base_s=0.1, backoff_cap_s=10.0
+        )
+        injector = FailureInjector([0], fail_attempts=3)
+        executor.run(lambda x: x, [1], injector=injector)
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_backoff_respects_cap(self):
+        executor, _, _ = make_executor(backoff_base_s=1.0, backoff_cap_s=1.5)
+        assert executor.backoff_delay(5) == pytest.approx(1.5)
+
+    def test_jitter_widens_delay(self):
+        executor = RankExecutor(
+            SerialBackend(),
+            backoff_base_s=1.0,
+            jitter=0.5,
+            rng=random.Random(0),
+        )
+        delay = executor.backoff_delay(0)
+        assert 1.0 <= delay <= 1.5
+
+    def test_retry_budget_exhausted_raises(self):
+        executor, _, _ = make_executor(max_retries=2)
+        injector = FailureInjector([0], fail_attempts=10)
+        with pytest.raises(RetryExhaustedError, match="retry budget 2 exhausted"):
+            executor.run(lambda x: x, [1], injector=injector)
+
+    def test_zero_retries_fails_fast(self):
+        executor, _, sleeps = make_executor(max_retries=0)
+        injector = FailureInjector([0])
+        with pytest.raises(RetryExhaustedError):
+            executor.run(lambda x: x, [1], injector=injector)
+        assert sleeps == []
+
+    def test_fatal_error_aborts_immediately(self):
+        executor, _, sleeps = make_executor(max_retries=5)
+        injector = FailureInjector([1], fatal=True)
+        with pytest.raises(FatalRankError, match="rank 1 failed fatally"):
+            executor.run(lambda x: x, [1, 2], injector=injector)
+        assert sleeps == []
+
+    def test_arbitrary_exception_is_transient(self):
+        executor, _, _ = make_executor(max_retries=1)
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("boom")
+            return x
+
+        result = executor.run(flaky, [7])
+        assert result.results == [7]
+        assert "ValueError: boom" in result.reports[0].attempts[0].error
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(TransientRankError):
+            RankExecutor(SerialBackend(), max_retries=-1)
+
+
+class TestTimeout:
+    def test_slow_rank_classified_as_timeout_and_retried(self):
+        executor, clock, _ = make_executor(max_retries=1, rank_timeout_s=5.0)
+        durations = iter([10.0, 1.0])  # first attempt too slow, retry fast
+
+        def work(x):
+            clock.advance(next(durations))
+            return x
+
+        result = executor.run(work, ["ok"])
+        assert result.results == ["ok"]
+        first, second = result.reports[0].attempts
+        assert not first.ok and "RankTimeoutError" in first.error
+        assert second.ok and second.elapsed_s == pytest.approx(1.0)
+
+    def test_timeout_exhausts_budget(self):
+        executor, clock, _ = make_executor(max_retries=1, rank_timeout_s=1.0)
+
+        def slow(x):
+            clock.advance(2.0)
+            return x
+
+        with pytest.raises(RetryExhaustedError):
+            executor.run(slow, [1])
+
+    def test_no_timeout_by_default(self):
+        executor, clock, _ = make_executor()
+
+        def slow(x):
+            clock.advance(1e6)
+            return x
+
+        assert executor.run(slow, [1]).results == [1]
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(TransientRankError):
+            RankExecutor(SerialBackend(), rank_timeout_s=0.0)
+
+
+class TestStragglers:
+    def _run_with_durations(self, durations, **kwargs):
+        executor, clock, _ = make_executor(**kwargs)
+
+        def work(dt):
+            clock.advance(dt)
+            return dt
+
+        return executor.run(work, durations)
+
+    def test_slow_rank_flagged(self):
+        result = self._run_with_durations([1.0, 1.0, 1.0, 10.0], straggler_factor=3.0)
+        assert result.stragglers == [3]
+        assert result.reports[3].straggler
+
+    def test_uniform_ranks_not_flagged(self):
+        result = self._run_with_durations([1.0, 1.0, 1.0, 1.0])
+        assert result.stragglers == []
+
+    def test_single_rank_never_flagged(self):
+        result = self._run_with_durations([5.0])
+        assert result.stragglers == []
+
+    def test_factor_controls_threshold(self):
+        result = self._run_with_durations([1.0, 1.0, 2.5], straggler_factor=2.0)
+        assert result.stragglers == [2]
+
+
+class TestObservability:
+    def test_events_fire_in_order(self):
+        calls = []
+        events = RankEvents(
+            on_rank_start=lambda r, a: calls.append(("start", r, a)),
+            on_rank_done=lambda r, e, a: calls.append(("done", r, a)),
+            on_retry=lambda r, a, d, err: calls.append(("retry", r, a)),
+        )
+        executor, _, _ = make_executor(max_retries=1, events=events)
+        injector = FailureInjector([0], fail_attempts=1)
+        executor.run(lambda x: x, [1, 2], injector=injector)
+        # Outcomes are processed in rank order within a round, so rank
+        # 0's retry classification precedes rank 1's completion event.
+        assert calls == [
+            ("start", 0, 0),
+            ("start", 1, 0),
+            ("retry", 0, 0),
+            ("done", 1, 0),
+            ("start", 0, 1),
+            ("done", 0, 1),
+        ]
+
+    def test_straggler_event(self):
+        seen = []
+        events = RankEvents(on_straggler=lambda r, e, m: seen.append((r, e, m)))
+        executor, clock, _ = make_executor(events=events, straggler_factor=2.0)
+
+        def work(dt):
+            clock.advance(dt)
+            return dt
+
+        executor.run(work, [1.0, 1.0, 5.0])
+        assert seen == [(2, 5.0, 1.0)]
+
+    def test_metrics_recorded(self):
+        metrics = MetricsRegistry()
+        executor, _, _ = make_executor(max_retries=1, metrics=metrics)
+        injector = FailureInjector([0], fail_attempts=1)
+        executor.run(lambda x: x, [1, 2], injector=injector)
+        snap = metrics.snapshot()
+        assert snap["counters"]["ranks.completed"] == 2
+        assert snap["counters"]["ranks.retried"] == 1
+        assert snap["gauges"]["ranks.total"] == 2
+        assert snap["histograms"]["rank.elapsed_s"]["count"] == 2
+
+    def test_tracer_span_wraps_run(self):
+        sink = ListSink()
+        executor, _, _ = make_executor(tracer=Tracer(sink, clock=FakeClock()))
+        executor.run(lambda x: x, [1])
+        (span,) = sink.spans
+        assert span.name == "executor.run"
+        assert span.attributes == {"ranks": 1, "backend": "serial"}
+
+    def test_execution_report_to_dict(self):
+        executor, _, _ = make_executor(max_retries=1)
+        injector = FailureInjector([0], fail_attempts=1)
+        result = executor.run(lambda x: x, [1], injector=injector)
+        d = result.to_dict()
+        assert d["total_retries"] == 1
+        assert d["ranks"][0]["retries"] == 1
+        assert len(d["ranks"][0]["attempts"]) == 2

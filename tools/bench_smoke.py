@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Benchmark smoke target: ``python tools/bench_smoke.py``.
+
+Runs the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot
+test only) and asserts that a machine-readable metrics JSON was
+produced.  This is the cheap CI guard that the perf trajectory stays
+observable — the full benchmark suite is run separately.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-") as out_dir:
+        env = dict(os.environ)
+        env["REPRO_METRICS_DIR"] = out_dir
+        src = str(root / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/bench_fig3_scaling.py",
+            "-q",
+            "-k",
+            "metrics_snapshot",
+            "-p",
+            "no:cacheprovider",
+        ]
+        print("bench-smoke:", " ".join(cmd), file=sys.stderr)
+        code = subprocess.call(cmd, cwd=root, env=env)
+        if code != 0:
+            print("bench-smoke: benchmark run failed", file=sys.stderr)
+            return code
+        snapshot_path = Path(out_dir) / "fig3_metrics.json"
+        if not snapshot_path.exists():
+            print(f"bench-smoke: no metrics snapshot at {snapshot_path}", file=sys.stderr)
+            return 1
+        with open(snapshot_path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+        for key in ("counters", "histograms", "run"):
+            if key not in snapshot:
+                print(f"bench-smoke: snapshot missing {key!r}", file=sys.stderr)
+                return 1
+        ranks = snapshot["run"]["execution"]["ranks"]
+        print(
+            f"bench-smoke: OK — snapshot has {len(ranks)} per-rank reports, "
+            f"rate {snapshot['run']['edges_per_second']:.3e} edges/s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

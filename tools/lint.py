@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Make-free lint entry point: ``python tools/lint.py``.
+
+Runs ``python -m ruff check src tests`` with the configuration in
+``pyproject.toml``.  If ruff is not installed in the environment the
+check is *skipped* (exit 0) with a loud message rather than failing —
+the library itself has zero lint-time dependencies and CI images without
+ruff must still be able to run the full test suite.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+TARGETS = ["src", "tests", "benchmarks", "tools"]
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    if importlib.util.find_spec("ruff") is None:
+        print(
+            "lint: ruff is not installed; skipping "
+            "(pip install ruff, then rerun: python -m ruff check src tests)",
+            file=sys.stderr,
+        )
+        return 0
+    cmd = [sys.executable, "-m", "ruff", "check", *TARGETS]
+    print("lint:", " ".join(cmd), file=sys.stderr)
+    return subprocess.call(cmd, cwd=root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
