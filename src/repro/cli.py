@@ -4,8 +4,11 @@ Subcommands mirror the paper's workflow:
 
 * ``design``   — print the exact properties of a star-size list,
 * ``search``   — find star sizes hitting a target edge count,
-* ``generate`` — realize a design on simulated ranks, write TSV files,
+* ``generate`` — realize a design on simulated ranks, write TSV files
+  (``--stream`` for crash-safe checksummed shards, ``--resume`` to
+  finish an interrupted streamed run),
 * ``validate`` — realize a design and compare measured vs. predicted,
+* ``verify-shards`` — recompute shard checksums against manifest.json,
 * ``scale``    — run a Fig.-3-style rank-count sweep.
 """
 
@@ -89,6 +92,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_args(p_gen)
     p_gen.add_argument("--ranks", type=int, default=4, help="simulated rank count")
     p_gen.add_argument("--out", type=str, default=None, help="directory for per-rank TSV files")
+    p_gen.add_argument(
+        "--stream",
+        action="store_true",
+        help="write shards crash-safely (atomic writes + checksummed "
+        "manifest.json) instead of assembling in memory; requires --out",
+    )
+    p_gen.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted --stream run: verify the manifest "
+        "fingerprint and regenerate only missing/corrupt shards",
+    )
+    p_gen.add_argument(
+        "--scramble-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="apply the Graph500-style vertex scramble to written labels "
+        "(streamed runs only; recorded in the manifest fingerprint)",
+    )
     _add_runtime_args(p_gen)
 
     p_val = sub.add_parser("validate", help="realize and check measured == predicted")
@@ -141,6 +164,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("design_json", type=str, help="design saved by repro.io.save_design")
     p_chk.add_argument("edge_dir", type=str, help="directory of edges.*.tsv rank files")
     p_chk.add_argument("--prefix", type=str, default="edges")
+
+    p_vfy = sub.add_parser(
+        "verify-shards",
+        help="recompute shard checksums against manifest.json and check "
+        "total nnz + degree distribution vs the closed-form prediction",
+    )
+    p_vfy.add_argument(
+        "shard_dir", type=str, help="directory written by a streamed run"
+    )
+    p_vfy.add_argument(
+        "--no-degrees",
+        action="store_true",
+        help="skip the streamed degree-distribution comparison",
+    )
     return parser
 
 
@@ -165,6 +202,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
     from repro.validate import audit_partition
 
     design = PowerLawDesign(args.star_sizes, args.self_loop)
+    if args.stream or args.resume:
+        return _cmd_generate_stream(args, design)
     cluster = VirtualCluster(n_ranks=args.ranks)
     metrics = MetricsRegistry()
     progress = ConsoleProgress(args.ranks)
@@ -200,6 +239,56 @@ def cmd_generate(args: argparse.Namespace) -> int:
         )
         print(f"wrote metrics snapshot to {path}")
     return 0
+
+
+def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> int:
+    """The crash-safe streamed path of ``generate`` (--stream/--resume)."""
+    from repro.errors import GenerationError
+    from repro.parallel import generate_to_disk
+    from repro.runtime import MetricsRegistry
+
+    if not args.out:
+        raise GenerationError("--stream/--resume require --out DIRECTORY")
+    metrics = MetricsRegistry()
+    summary = generate_to_disk(
+        design,
+        args.ranks,
+        args.out,
+        resume=args.resume,
+        scramble_seed=args.scramble_seed,
+        backend=args.backend,
+        max_retries=args.max_retries,
+        metrics=metrics,
+    )
+    reused = summary.skipped_ranks
+    print(
+        f"streamed {summary.total_edges:,} edges across {summary.n_ranks} "
+        f"shards to {args.out} "
+        f"({reused} reused from checkpoint, {summary.n_ranks - reused} generated)"
+    )
+    print(f"manifest: {summary.manifest_path}")
+    if args.metrics_out:
+        path = _write_metrics_snapshot(
+            args.metrics_out,
+            metrics,
+            command="generate --stream",
+            ranks=args.ranks,
+            backend=args.backend,
+            total_edges=summary.total_edges,
+            skipped_ranks=reused,
+        )
+        print(f"wrote metrics snapshot to {path}")
+    return 0
+
+
+def cmd_verify_shards(args: argparse.Namespace) -> int:
+    from repro.parallel import verify_shards
+
+    verification = verify_shards(
+        args.shard_dir, check_degrees=not args.no_degrees
+    )
+    print(verification.to_text())
+    return 0 if verification.passed else 1
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -343,6 +432,7 @@ def cmd_check_files(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "check-files": cmd_check_files,
+    "verify-shards": cmd_verify_shards,
     "design": cmd_design,
     "search": cmd_search,
     "generate": cmd_generate,

@@ -65,6 +65,32 @@ class RetryExhaustedError(RankExecutionError):
     """A rank kept failing after every permitted retry attempt."""
 
 
+class StorageError(FatalRankError):
+    """A non-retryable storage failure (disk full, permission, read-only).
+
+    Retrying cannot help until the operator frees space or fixes
+    permissions, so the run aborts immediately — leaving a clean partial
+    manifest behind so it can be resumed later.
+    """
+
+
+class CheckpointError(ReproError):
+    """A durability-layer (manifest / shard checkpoint) operation failed."""
+
+
+class ManifestError(CheckpointError):
+    """A run manifest is missing, unparsable, or structurally invalid."""
+
+
+class ResumeMismatchError(ManifestError):
+    """A resume was requested against a manifest whose design fingerprint
+    does not match the design being generated."""
+
+
+class ShardIntegrityError(CheckpointError):
+    """An on-disk shard disagrees with its recorded checksum or size."""
+
+
 class ValidationError(ReproError):
     """A generated graph disagrees with its design prediction."""
 

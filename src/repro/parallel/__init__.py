@@ -36,12 +36,14 @@ from repro.parallel.scaling import ScalingPoint, ScalingStudy, measure_rank_rate
 from repro.parallel.scramble import ScramblePermutation, scramble_graph, scramble_permutation
 from repro.parallel.simulate import CurvePoint, SimulatedCurve, simulate_rate_curve
 from repro.parallel.stream import (
+    ShardVerification,
     StreamingDegreeAccumulator,
     StreamSummary,
     generate_to_disk,
     read_streamed_degree_distribution,
     streamed_degree_distribution,
     validate_streamed,
+    verify_shards,
 )
 
 __all__ = [
@@ -52,6 +54,8 @@ __all__ = [
     "scramble_graph",
     "ScramblePermutation",
     "generate_to_disk",
+    "verify_shards",
+    "ShardVerification",
     "streamed_degree_distribution",
     "read_streamed_degree_distribution",
     "validate_streamed",

@@ -224,6 +224,8 @@ def generate_design_parallel(
     rank_timeout_s: float | None = None,
     metrics: MetricsRegistry | None = None,
     events: RankEvents | None = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
     memory_entries: int | None = None,
 ) -> Graph:
     """One-call helper: realize a :class:`~repro.design.PowerLawDesign`
@@ -232,6 +234,13 @@ def generate_design_parallel(
     ``backend`` accepts a registry name or a backend instance;
     ``memory_entries`` is a deprecated alias of ``memory_budget_entries``
     and warns when used.
+
+    With ``checkpoint_dir``, generation runs through the crash-safe
+    streamed pipeline (:func:`~repro.parallel.stream.generate_to_disk`):
+    every rank shard is written atomically and committed to the run
+    manifest, and ``resume=True`` re-derives the plan, verifies the
+    design fingerprint, and regenerates only missing/invalid shards
+    before assembling the graph from disk.
     """
     if memory_entries is not None:
         warnings.warn(
@@ -240,6 +249,25 @@ def generate_design_parallel(
             stacklevel=2,
         )
         memory_budget_entries = memory_entries
+    if checkpoint_dir is not None:
+        from repro.io.tsv import read_rank_files
+        from repro.parallel.stream import generate_to_disk
+
+        generate_to_disk(
+            design,
+            n_ranks,
+            checkpoint_dir,
+            memory_budget_entries=memory_budget_entries,
+            resume=resume,
+            backend=backend,
+            max_retries=max_retries,
+            metrics=metrics,
+        )
+        n = design.num_vertices
+        # Shards already have the self-loop removed.
+        return Graph(read_rank_files(checkpoint_dir, (n, n)))
+    if resume:
+        raise GenerationError("resume=True requires checkpoint_dir")
     cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_budget_entries)
     gen = ParallelKroneckerGenerator(
         design.to_chain(),

@@ -1,4 +1,4 @@
-"""Streaming (out-of-core) generation and validation.
+"""Streaming (out-of-core) generation and validation, crash-safe.
 
 The paper's production mode never assembles ``A``: each rank writes its
 block to its own file and downstream systems consume the files.  This
@@ -6,43 +6,104 @@ module reproduces that pipeline end to end on one machine while holding
 at most ONE rank block in memory at a time:
 
 * :func:`generate_to_disk` — iterate ranks, form ``Ap = Bp ⊗ C``, write
-  it, drop it;
+  it atomically (temp file → fsync → rename) with a SHA-256 checksum,
+  commit it to the run manifest, drop it;
+* **resume** — ``generate_to_disk(..., resume=True)`` re-derives the
+  plan, verifies the design fingerprint against the existing
+  ``manifest.json``, validates surviving shards against their recorded
+  checksums (quarantining corrupt ones as ``*.corrupt``), and
+  regenerates only the missing/invalid ranks through the
+  :class:`~repro.runtime.RankExecutor` retry path;
+* :func:`verify_shards` — recompute every shard checksum and cross-check
+  total nnz and the streamed degree distribution against the
+  closed-form prediction (the CLI's ``verify-shards``);
 * :class:`StreamingDegreeAccumulator` — fold per-block row counts into a
   global degree histogram without the union matrix;
 * :func:`validate_streamed` — the measured==predicted degree check for
   graphs bigger than RAM (bounded by per-rank block size only).
+
+Because every rank block is a pure function of (design, partition,
+scramble seed), an interrupted-then-resumed run produces shards and a
+manifest byte-identical to an uninterrupted one — which is exactly what
+the durability tests assert.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.design.distribution import DegreeDistribution
 from repro.design.star_design import PowerLawDesign
-from repro.errors import GenerationError
+from repro.errors import (
+    FatalRankError,
+    GenerationError,
+    ManifestError,
+    RetryExhaustedError,
+    StorageError,
+)
 from repro.kron.sparse_kron import kron
+from repro.parallel.backends import BackendLike, resolve_backend
 from repro.parallel.machine import VirtualCluster
-from repro.parallel.partition import PartitionPlan, partition_bc
+from repro.parallel.partition import PartitionPlan, RankAssignment, partition_bc
+from repro.parallel.scramble import ScramblePermutation, scramble_permutation
+from repro.runtime.checkpoint import (
+    STATUS_COMPLETE,
+    STATUS_FAILED,
+    STATUS_IN_PROGRESS,
+    RunManifest,
+    ShardRecord,
+    atomic_write_bytes,
+    classify_storage_error,
+    design_fingerprint,
+    payload_checksum,
+    quarantine_shard,
+    verify_shard_record,
+)
+from repro.runtime.executor import RankExecutor
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.tracing import Tracer
 from repro.validate.degree_check import DegreeCheck, check_degree_distribution
 
 
+def _resolve_memory_alias(
+    memory_budget_entries: int, memory_entries: int | None
+) -> int:
+    """The shared ``memory_entries`` → ``memory_budget_entries``
+    deprecation shim (same contract as ``generate_design_parallel``)."""
+    if memory_entries is not None:
+        warnings.warn(
+            "memory_entries is deprecated; use memory_budget_entries",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return memory_entries
+    return memory_budget_entries
+
+
 @dataclass(frozen=True)
 class StreamSummary:
-    """Accounting for one streamed generation run."""
+    """Accounting for one streamed generation run.
+
+    ``files`` holds the absolute shard paths as strings (convertible
+    with ``Path(p)``), sorted by rank — index ``i`` is always rank
+    ``i``'s shard, whether it was generated this run or reused from a
+    checkpoint.
+    """
 
     n_ranks: int
     total_edges: int
     max_block_edges: int
-    files: tuple[str, ...]
+    files: Tuple[str, ...]
     elapsed_s: float
+    skipped_ranks: int = 0
+    manifest_path: Optional[str] = None
 
     @property
     def peak_block_fraction(self) -> float:
@@ -89,74 +150,372 @@ class StreamingDegreeAccumulator:
         )
 
 
+# -- the per-rank worker ------------------------------------------------------
+def _rank_payload(
+    assignment: RankAssignment,
+    c,
+    loop_vertex: int | None,
+    scramble: ScramblePermutation | None,
+) -> Tuple[bytes, int]:
+    """Form one rank's final block and serialize it to TSV bytes.
+
+    Pure function of (design, plan, seed): the byte stream is what makes
+    resumed runs byte-identical to uninterrupted ones.
+    """
+    block = kron(assignment.b_local, c)
+    offset = assignment.col_base * c.shape[1]
+    rows, cols, vals = block.rows, block.cols + offset, block.vals
+    if loop_vertex is not None:
+        hit = (rows == loop_vertex) & (cols == loop_vertex)
+        if hit.any():
+            keep = ~hit
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    if scramble is not None:
+        rows = scramble.apply_array(rows)
+        cols = scramble.apply_array(cols)
+    lines = [
+        f"{int(r)}\t{int(cc)}\t{int(v)}\n" for r, cc, v in zip(rows, cols, vals)
+    ]
+    return "".join(lines).encode("ascii"), len(lines)
+
+
+def _stream_rank(args: Tuple) -> ShardRecord:
+    """Worker: generate one rank's shard and write it atomically.
+
+    Module-level for pickling.  Fatal storage errors (disk full,
+    permission, read-only) are reclassified as
+    :class:`~repro.errors.StorageError` so the executor aborts instead
+    of burning its retry budget on a full disk.
+    """
+    assignment, c, loop_vertex, scramble, directory, filename = args
+    payload, nnz = _rank_payload(assignment, c, loop_vertex, scramble)
+    checksum = payload_checksum(payload)
+    path = Path(directory) / filename
+    try:
+        atomic_write_bytes(path, payload)
+    except OSError as exc:  # StorageError passes through untouched
+        raise classify_storage_error(exc, f"writing shard {filename}") from exc
+    return ShardRecord(
+        rank=assignment.rank,
+        filename=filename,
+        nnz=nnz,
+        checksum=checksum,
+        size_bytes=len(payload),
+    )
+
+
+def _reconcile_existing_shards(
+    manifest: RunManifest,
+    directory: Path,
+    fingerprint: Dict,
+    metrics: MetricsRegistry | None,
+) -> None:
+    """Validate a loaded manifest's shards for resume.
+
+    The fingerprint must match exactly; recorded shards that fail their
+    checksum (or vanished) are quarantined as ``*.corrupt`` and dropped
+    from the manifest so they regenerate.
+    """
+    manifest.require_fingerprint(fingerprint)
+    for rank in manifest.completed_ranks():
+        record = manifest.shards[rank]
+        ok, reason = verify_shard_record(directory, record)
+        if ok:
+            continue
+        path = directory / record.filename
+        if path.is_file():
+            quarantine_shard(path)
+            if metrics is not None:
+                metrics.counter("checkpoint.shards_quarantined").inc()
+        manifest.drop_shard(rank)
+
+
 def generate_to_disk(
     design: PowerLawDesign,
     n_ranks: int,
     directory: str | Path,
     *,
-    memory_entries: int = 50_000_000,
+    memory_budget_entries: int = 50_000_000,
     prefix: str = "edges",
+    scramble_seed: int | None = None,
+    resume: bool = False,
+    backend: BackendLike = None,
+    max_retries: int = 0,
+    failure_injector: Callable[[int, int], None] | None = None,
+    crash_hook: Callable[[int, int], None] | None = None,
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    memory_entries: int | None = None,
 ) -> StreamSummary:
-    """Generate ``design`` rank by rank, writing per-rank TSV files.
+    """Generate ``design`` rank by rank, writing per-rank TSV shards
+    crash-safely.
 
     Holds exactly one block at a time; the design self-loop (if any) is
     removed from the owning rank's block before writing, so the files
-    are the *final* graph.  When ``metrics``/``tracer`` are given, every
-    rank's kernel+write is timed into ``stream.rank_s`` and wrapped in a
-    ``stream.rank`` span.
+    are the *final* graph.  Every shard is written atomically (temp file
+    → fsync → rename), checksummed, and committed to ``manifest.json``
+    (also atomic) before the next rank starts — killing the process at
+    any instant leaves a valid partial checkpoint.
+
+    Parameters beyond the original signature:
+
+    ``scramble_seed``
+        Apply the Graph500-style affine vertex scramble to the written
+        labels (degree/triangle statistics are label-invariant, so
+        validation is unaffected).  Recorded in the manifest
+        fingerprint: a resume with a different seed is refused.
+    ``resume``
+        Load an existing manifest, verify its design fingerprint,
+        checksum-validate surviving shards (quarantining corrupt ones to
+        ``*.corrupt``), and regenerate only missing/invalid ranks.
+    ``backend`` / ``max_retries`` / ``failure_injector``
+        Per-rank work runs through a
+        :class:`~repro.runtime.RankExecutor`, so transient failures
+        retry with backoff exactly as in ``generate_design_parallel``.
+    ``crash_hook``
+        ``hook(rank, completed_count)`` invoked after each rank is
+        durably committed — :class:`~repro.runtime.CrashInjector` raises
+        from here to simulate a mid-run death in tests.
+    ``memory_entries``
+        Deprecated alias of ``memory_budget_entries`` (warns).
+
+    Metrics: ``checkpoint.ranks_skipped`` (reused from checkpoint),
+    ``checkpoint.ranks_regenerated``, ``checkpoint.shards_quarantined``,
+    ``checkpoint.manifest_writes``, plus the existing per-rank
+    ``stream.rank_s`` / ``stream.edges_written``.
     """
+    memory_budget_entries = _resolve_memory_alias(
+        memory_budget_entries, memory_entries
+    )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     chain = design.to_chain()
-    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_entries)
+    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_budget_entries)
     plan = partition_bc(chain, cluster)
     c = plan.c_chain.materialize()
     loop_vertex = design.loop_vertex
-    t0 = time.perf_counter()
-    files: List[str] = []
-    total = 0
-    max_block = 0
-    for assignment in plan.assignments:
-        rank_t0 = time.perf_counter()
-        span_cm = (
-            tracer.span("stream.rank", rank=assignment.rank)
-            if tracer is not None
-            else nullcontext()
-        )
-        with span_cm:
-            block = kron(assignment.b_local, c)
-            offset = assignment.col_base * c.shape[1]
-            rows, cols, vals = block.rows, block.cols + offset, block.vals
-            if loop_vertex is not None:
-                hit = (rows == loop_vertex) & (cols == loop_vertex)
-                if hit.any():
-                    keep = ~hit
-                    rows, cols, vals = rows[keep], cols[keep], vals[keep]
-            path = directory / f"{prefix}.{assignment.rank}.tsv"
-            with open(path, "w", encoding="ascii") as fh:
-                for r, cc, v in zip(rows, cols, vals):
-                    fh.write(f"{int(r)}\t{int(cc)}\t{int(v)}\n")
+    scramble = (
+        scramble_permutation(design.num_vertices, seed=scramble_seed)
+        if scramble_seed is not None
+        else None
+    )
+    fingerprint = design_fingerprint(
+        design, n_ranks=n_ranks, scramble_seed=scramble_seed
+    )
+
+    manifest = None
+    if resume and RunManifest.exists(directory):
+        manifest = RunManifest.load(directory)
+        _reconcile_existing_shards(manifest, directory, fingerprint, metrics)
+        manifest.status = STATUS_IN_PROGRESS
+    if manifest is None:
+        manifest = RunManifest(fingerprint=fingerprint, prefix=prefix)
+
+    def commit() -> Path:
         if metrics is not None:
-            metrics.histogram("stream.rank_s").observe(time.perf_counter() - rank_t0)
-            metrics.counter("stream.edges_written").inc(len(rows))
-        files.append(str(path))
-        total += len(rows)
-        max_block = max(max_block, len(rows))
-    elapsed = time.perf_counter() - t0
+            metrics.counter("checkpoint.manifest_writes").inc()
+        return manifest.save(directory)
+
+    skipped = manifest.completed_ranks()
+    pending = [plan.assignments[r] for r in manifest.missing_ranks()]
     if metrics is not None:
-        metrics.gauge("stream.total_s").set(elapsed)
+        metrics.counter("checkpoint.ranks_skipped").inc(len(skipped))
+        metrics.counter("checkpoint.ranks_regenerated").inc(len(pending))
+    manifest_path = commit()
+
+    executor = RankExecutor(
+        resolve_backend(backend),
+        max_retries=max_retries,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    t0 = time.perf_counter()
+    completed = len(skipped)
+    try:
+        for assignment in pending:
+            rank = assignment.rank
+            rank_t0 = time.perf_counter()
+            span_cm = (
+                tracer.span("stream.rank", rank=rank)
+                if tracer is not None
+                else nullcontext()
+            )
+            with span_cm:
+                # One-rank batches keep the one-block-in-memory bound and
+                # give each rank the executor's full retry budget.
+                injector = (
+                    (lambda _idx, attempt: failure_injector(rank, attempt))
+                    if failure_injector is not None
+                    else None
+                )
+                work = (
+                    assignment,
+                    c,
+                    loop_vertex,
+                    scramble,
+                    str(directory),
+                    f"{prefix}.{rank}.tsv",
+                )
+                execution = executor.run(_stream_rank, [work], injector=injector)
+                record: ShardRecord = execution.results[0]
+            manifest.record_shard(record)
+            commit()
+            completed += 1
+            if metrics is not None:
+                metrics.histogram("stream.rank_s").observe(
+                    time.perf_counter() - rank_t0
+                )
+                metrics.counter("stream.edges_written").inc(record.nnz)
+            if crash_hook is not None:
+                crash_hook(rank, completed)
+    except (StorageError, FatalRankError, RetryExhaustedError):
+        # Storage is unusable or a rank is unrecoverable: leave a clean
+        # partial manifest behind (status=failed) so the run can be
+        # diagnosed and resumed, then re-raise for the caller.
+        manifest.status = STATUS_FAILED
+        try:
+            commit()
+        except StorageError:  # pragma: no cover - disk truly gone
+            pass
+        raise
+
+    elapsed = time.perf_counter() - t0
+    total = manifest.total_nnz
     if total != design.num_edges:
+        manifest.status = STATUS_FAILED
+        commit()
         raise GenerationError(
             f"streamed {total} edges; design predicts {design.num_edges}"
         )
+    manifest.status = STATUS_COMPLETE
+    manifest_path = commit()
+    if metrics is not None:
+        metrics.gauge("stream.total_s").set(elapsed)
+    files = tuple(
+        str(directory / manifest.shards[r].filename) for r in range(n_ranks)
+    )
     return StreamSummary(
         n_ranks=n_ranks,
         total_edges=total,
-        max_block_edges=max_block,
-        files=tuple(files),
+        max_block_edges=max(s.nnz for s in manifest.shards.values()),
+        files=files,
         elapsed_s=elapsed,
+        skipped_ranks=len(skipped),
+        manifest_path=str(manifest_path),
+    )
+
+
+# -- shard verification -------------------------------------------------------
+@dataclass(frozen=True)
+class ShardVerification:
+    """Outcome of :func:`verify_shards` over one shard directory."""
+
+    directory: str
+    n_ranks: int
+    status: str
+    total_nnz: int
+    expected_nnz: int
+    ok_ranks: Tuple[int, ...]
+    bad_ranks: Tuple[int, ...]
+    failures: Tuple[str, ...]
+    degree_check: Optional[DegreeCheck]
+
+    @property
+    def passed(self) -> bool:
+        return (
+            not self.bad_ranks
+            and self.status == STATUS_COMPLETE
+            and self.total_nnz == self.expected_nnz
+            and (self.degree_check is None or self.degree_check.exact_match)
+        )
+
+    def to_text(self) -> str:
+        lines = [
+            f"shard verification of {self.directory}",
+            f"  manifest status: {self.status}",
+            f"  shards intact:   {len(self.ok_ranks)}/{self.n_ranks}",
+            f"  total nnz:       {self.total_nnz:,} "
+            f"(predicted {self.expected_nnz:,})",
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        if self.degree_check is not None:
+            verdict = "EXACT" if self.degree_check.exact_match else "MISMATCH"
+            lines.append(f"  degree distribution vs prediction: {verdict}")
+        elif self.bad_ranks:
+            lines.append("  degree check skipped (corrupt/missing shards)")
+        lines.append("VERIFICATION " + ("PASSED" if self.passed else "FAILED"))
+        return "\n".join(lines)
+
+
+def verify_shards(
+    directory: str | Path,
+    *,
+    design: PowerLawDesign | None = None,
+    check_degrees: bool = True,
+) -> ShardVerification:
+    """Recompute every shard checksum in ``directory`` and cross-check
+    the totals against the closed-form prediction.
+
+    The manifest's fingerprint carries the star sizes and loop policy,
+    so the design is reconstructed from it when not supplied.  When all
+    shards are intact (and ``check_degrees``), the streamed degree
+    distribution is compared to the design's exact prediction — the
+    Fig.-4 measured==predicted check run purely from disk.
+    """
+    directory = Path(directory)
+    manifest = RunManifest.load(directory)
+    fp = manifest.fingerprint
+    if design is None:
+        try:
+            design = PowerLawDesign(fp["star_sizes"], fp["self_loop"])
+        except KeyError as exc:
+            raise ManifestError(
+                f"manifest fingerprint missing field {exc}; cannot "
+                "reconstruct the design (pass design= explicitly)"
+            ) from exc
+    expected_fp = design_fingerprint(
+        design,
+        n_ranks=manifest.n_ranks,
+        scramble_seed=fp.get("scramble_seed"),
+    )
+    failures: List[str] = []
+    if not manifest.matches_fingerprint(expected_fp):
+        failures.append(
+            "manifest fingerprint does not match the supplied design"
+        )
+    ok_ranks: List[int] = []
+    bad_ranks: List[int] = []
+    for rank in range(manifest.n_ranks):
+        record = manifest.shards.get(rank)
+        if record is None:
+            bad_ranks.append(rank)
+            failures.append(f"rank {rank}: no shard recorded in manifest")
+            continue
+        ok, reason = verify_shard_record(directory, record)
+        if ok:
+            ok_ranks.append(rank)
+        else:
+            bad_ranks.append(rank)
+            failures.append(f"rank {rank}: {reason}")
+    total_nnz = sum(manifest.shards[r].nnz for r in ok_ranks)
+    degree_check = None
+    if check_degrees and not bad_ranks and not failures:
+        files = [directory / manifest.shards[r].filename for r in ok_ranks]
+        measured = read_streamed_degree_distribution(files, design.num_vertices)
+        degree_check = check_degree_distribution(
+            measured, design.degree_distribution
+        )
+    return ShardVerification(
+        directory=str(directory),
+        n_ranks=manifest.n_ranks,
+        status=manifest.status,
+        total_nnz=total_nnz,
+        expected_nnz=design.num_edges,
+        ok_ranks=tuple(ok_ranks),
+        bad_ranks=tuple(bad_ranks),
+        failures=tuple(failures),
+        degree_check=degree_check,
     )
 
 
@@ -164,11 +523,15 @@ def streamed_degree_distribution(
     design: PowerLawDesign,
     n_ranks: int,
     *,
-    memory_entries: int = 50_000_000,
+    memory_budget_entries: int = 50_000_000,
+    memory_entries: int | None = None,
 ) -> DegreeDistribution:
     """Measured degree distribution, one block in memory at a time."""
+    memory_budget_entries = _resolve_memory_alias(
+        memory_budget_entries, memory_entries
+    )
     chain = design.to_chain()
-    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_entries)
+    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_budget_entries)
     plan: PartitionPlan = partition_bc(chain, cluster)
     c = plan.c_chain.materialize()
     accumulator = StreamingDegreeAccumulator(design.num_vertices)
@@ -184,11 +547,15 @@ def validate_streamed(
     design: PowerLawDesign,
     n_ranks: int,
     *,
-    memory_entries: int = 50_000_000,
+    memory_budget_entries: int = 50_000_000,
+    memory_entries: int | None = None,
 ) -> DegreeCheck:
     """The Fig.-4 measured==predicted degree check, out of core."""
+    memory_budget_entries = _resolve_memory_alias(
+        memory_budget_entries, memory_entries
+    )
     measured = streamed_degree_distribution(
-        design, n_ranks, memory_entries=memory_entries
+        design, n_ranks, memory_budget_entries=memory_budget_entries
     )
     return check_degree_distribution(measured, design.degree_distribution)
 

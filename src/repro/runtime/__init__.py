@@ -12,9 +12,31 @@ is the execution/observability layer the rest of the system plugs into:
   timeout, bounded retry with exponential backoff + jitter, transient vs
   fatal failure classification, straggler detection;
 * :mod:`repro.runtime.events` — progress callbacks the CLI consumes for
-  live per-rank output.
+  live per-rank output;
+* :mod:`repro.runtime.checkpoint` — the durability layer: atomic
+  fsync+rename shard writes, SHA-256 checksums, the per-run
+  ``manifest.json`` (:class:`RunManifest`), shard quarantine, fatal
+  storage-error classification, and the :class:`CrashInjector` used to
+  prove interrupted-then-resumed runs are byte-identical.
 """
 
+from repro.runtime.checkpoint import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    QUARANTINE_SUFFIX,
+    CrashInjector,
+    RunManifest,
+    ShardRecord,
+    SimulatedCrash,
+    atomic_write_bytes,
+    atomic_write_text,
+    design_fingerprint,
+    file_checksum,
+    is_fatal_storage_error,
+    payload_checksum,
+    quarantine_shard,
+    verify_shard_record,
+)
 from repro.runtime.events import ConsoleProgress, RankEvents
 from repro.runtime.executor import (
     ExecutionResult,
@@ -41,6 +63,21 @@ from repro.runtime.tracing import (
 )
 
 __all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "QUARANTINE_SUFFIX",
+    "CrashInjector",
+    "RunManifest",
+    "ShardRecord",
+    "SimulatedCrash",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "design_fingerprint",
+    "file_checksum",
+    "is_fatal_storage_error",
+    "payload_checksum",
+    "quarantine_shard",
+    "verify_shard_record",
     "Counter",
     "Gauge",
     "Histogram",

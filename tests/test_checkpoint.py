@@ -1,0 +1,239 @@
+"""Unit tests for the durability layer (``repro.runtime.checkpoint``)."""
+
+import errno
+import json
+
+import pytest
+
+from repro.errors import ManifestError, ResumeMismatchError, StorageError
+from repro.design import PowerLawDesign
+from repro.runtime import (
+    MANIFEST_NAME,
+    CrashInjector,
+    RunManifest,
+    ShardRecord,
+    SimulatedCrash,
+    atomic_write_bytes,
+    atomic_write_text,
+    design_fingerprint,
+    file_checksum,
+    is_fatal_storage_error,
+    payload_checksum,
+    quarantine_shard,
+    verify_shard_record,
+)
+
+DESIGN = PowerLawDesign([3, 4, 5], "center")
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "a.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "a.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "x\n")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_missing_directory_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            atomic_write_bytes(tmp_path / "nope" / "a.bin", b"x")
+
+
+class TestChecksums:
+    def test_payload_and_file_agree(self, tmp_path):
+        data = b"0\t1\t1\n1\t0\t1\n"
+        path = tmp_path / "edges.0.tsv"
+        path.write_bytes(data)
+        assert payload_checksum(data) == file_checksum(path)
+
+    def test_prefix_and_sensitivity(self):
+        a, b = payload_checksum(b"a"), payload_checksum(b"b")
+        assert a.startswith("sha256:") and a != b
+
+
+class TestStorageClassification:
+    @pytest.mark.parametrize(
+        "code", [errno.ENOSPC, errno.EDQUOT, errno.EROFS, errno.EACCES, errno.EPERM]
+    )
+    def test_fatal_errnos(self, code):
+        assert is_fatal_storage_error(OSError(code, "boom"))
+
+    def test_transient_errnos(self):
+        assert not is_fatal_storage_error(OSError(errno.EINTR, "again"))
+        assert not is_fatal_storage_error(OSError())
+
+    def test_storage_error_is_fatal_rank_error(self):
+        from repro.errors import FatalRankError
+
+        assert issubclass(StorageError, FatalRankError)
+
+
+class TestDesignFingerprint:
+    def test_deterministic(self):
+        fp1 = design_fingerprint(DESIGN, n_ranks=4)
+        fp2 = design_fingerprint(DESIGN, n_ranks=4)
+        assert fp1 == fp2
+        assert fp1["digest"].startswith("sha256:")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_ranks": 5},
+            {"n_ranks": 4, "scramble_seed": 1},
+        ],
+    )
+    def test_digest_changes_with_run_shape(self, kwargs):
+        assert (
+            design_fingerprint(DESIGN, **kwargs)["digest"]
+            != design_fingerprint(DESIGN, n_ranks=4)["digest"]
+        )
+
+    def test_digest_changes_with_design(self):
+        other = PowerLawDesign([3, 4, 5], "leaf")
+        assert (
+            design_fingerprint(other, n_ranks=4)["digest"]
+            != design_fingerprint(DESIGN, n_ranks=4)["digest"]
+        )
+
+    def test_records_loop_placement_and_totals(self):
+        fp = design_fingerprint(DESIGN, n_ranks=4)
+        assert fp["loop_vertex"] == 0
+        assert fp["num_edges"] == DESIGN.num_edges
+        assert fp["star_sizes"] == [3, 4, 5]
+
+
+def _manifest(**overrides):
+    kwargs = dict(
+        fingerprint=design_fingerprint(DESIGN, n_ranks=2), prefix="edges"
+    )
+    kwargs.update(overrides)
+    return RunManifest(**kwargs)
+
+
+class TestRunManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = _manifest()
+        manifest.record_shard(
+            ShardRecord(rank=0, filename="edges.0.tsv", nnz=10,
+                        checksum="sha256:ab", size_bytes=40)
+        )
+        manifest.save(tmp_path)
+        loaded = RunManifest.load(tmp_path)
+        assert loaded.to_dict() == manifest.to_dict()
+        assert loaded.completed_ranks() == [0]
+        assert loaded.missing_ranks() == [1]
+        assert loaded.total_nnz == 10
+
+    def test_serialization_is_deterministic(self, tmp_path):
+        assert _manifest().to_json() == _manifest().to_json()
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ManifestError):
+            RunManifest.load(tmp_path)
+
+    def test_load_corrupt_json_raises(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ManifestError):
+            RunManifest.load(tmp_path)
+
+    def test_load_wrong_version_raises(self, tmp_path):
+        doc = _manifest().to_dict()
+        doc["version"] = 99
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(doc))
+        with pytest.raises(ManifestError):
+            RunManifest.load(tmp_path)
+
+    def test_duplicate_shard_record_raises(self):
+        doc = _manifest().to_dict()
+        shard = {"rank": 0, "filename": "edges.0.tsv", "nnz": 1,
+                 "checksum": "sha256:ab", "size_bytes": 4}
+        doc["shards"] = [shard, dict(shard)]
+        with pytest.raises(ManifestError):
+            RunManifest.from_dict(doc)
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ManifestError):
+            _manifest(status="half-done")
+
+    def test_fingerprint_mismatch_raises(self):
+        manifest = _manifest()
+        other = design_fingerprint(DESIGN, n_ranks=3)
+        assert not manifest.matches_fingerprint(other)
+        with pytest.raises(ResumeMismatchError):
+            manifest.require_fingerprint(other)
+
+
+class TestVerifyShardRecord:
+    def _record(self, tmp_path, data=b"0\t1\t1\n"):
+        path = tmp_path / "edges.0.tsv"
+        path.write_bytes(data)
+        return ShardRecord(
+            rank=0, filename="edges.0.tsv", nnz=1,
+            checksum=payload_checksum(data), size_bytes=len(data),
+        )
+
+    def test_intact(self, tmp_path):
+        ok, reason = verify_shard_record(tmp_path, self._record(tmp_path))
+        assert ok and reason == ""
+
+    def test_missing(self, tmp_path):
+        record = self._record(tmp_path)
+        (tmp_path / "edges.0.tsv").unlink()
+        ok, reason = verify_shard_record(tmp_path, record)
+        assert not ok and "missing" in reason
+
+    def test_truncated_reports_size(self, tmp_path):
+        record = self._record(tmp_path)
+        (tmp_path / "edges.0.tsv").write_bytes(b"0\t1")
+        ok, reason = verify_shard_record(tmp_path, record)
+        assert not ok and "bytes" in reason
+
+    def test_flipped_byte_reports_checksum(self, tmp_path):
+        record = self._record(tmp_path)
+        data = bytearray((tmp_path / "edges.0.tsv").read_bytes())
+        data[0] ^= 1
+        (tmp_path / "edges.0.tsv").write_bytes(bytes(data))
+        ok, reason = verify_shard_record(tmp_path, record)
+        assert not ok and "checksum" in reason
+
+
+class TestQuarantine:
+    def test_renames_to_corrupt(self, tmp_path):
+        path = tmp_path / "edges.1.tsv"
+        path.write_bytes(b"junk")
+        target = quarantine_shard(path)
+        assert not path.exists()
+        assert target.name == "edges.1.tsv.corrupt"
+        assert target.read_bytes() == b"junk"
+
+    def test_replaces_older_quarantine(self, tmp_path):
+        (tmp_path / "edges.1.tsv.corrupt").write_bytes(b"old")
+        path = tmp_path / "edges.1.tsv"
+        path.write_bytes(b"new")
+        assert quarantine_shard(path).read_bytes() == b"new"
+
+
+class TestCrashInjector:
+    def test_crashes_at_threshold_only(self):
+        hook = CrashInjector(3)
+        hook(0, 1)
+        hook(1, 2)
+        with pytest.raises(SimulatedCrash):
+            hook(2, 3)
+
+    def test_simulated_crash_evades_exception_handlers(self):
+        # A real crash cannot be caught; the simulated one must not be
+        # swallowed by blanket ``except Exception`` cleanup either.
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ManifestError):
+            CrashInjector(0)

@@ -184,6 +184,84 @@ class TestCheckFilesCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestGenerateStream:
+    def test_stream_writes_manifest_and_shards(self, tmp_path, capsys):
+        out_dir = tmp_path / "shards"
+        rc = main(
+            ["generate", "3", "4", "5", "--ranks", "3",
+             "--out", str(out_dir), "--stream"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out and "manifest" in out
+        assert (out_dir / "manifest.json").is_file()
+        assert len(list(out_dir.glob("edges.*.tsv"))) == 3
+
+    def test_stream_requires_out(self, capsys):
+        assert main(["generate", "3", "4", "--stream"]) == 2
+        assert "require --out" in capsys.readouterr().err
+
+    def test_resume_completes_interrupted_run(self, tmp_path, capsys):
+        import pytest as _pytest
+
+        from repro.design import PowerLawDesign
+        from repro.parallel import generate_to_disk
+        from repro.runtime import CrashInjector, SimulatedCrash
+
+        out_dir = tmp_path / "shards"
+        with _pytest.raises(SimulatedCrash):
+            generate_to_disk(
+                PowerLawDesign([3, 4, 5], "center"), 4, out_dir,
+                crash_hook=CrashInjector(2),
+            )
+        rc = main(
+            ["generate", "3", "4", "5", "--self-loop", "center",
+             "--ranks", "4", "--out", str(out_dir), "--resume"]
+        )
+        assert rc == 0
+        assert "2 reused from checkpoint, 2 generated" in capsys.readouterr().out
+
+
+class TestVerifyShardsCommand:
+    def _streamed(self, tmp_path):
+        from repro.design import PowerLawDesign
+        from repro.parallel import generate_to_disk
+
+        return generate_to_disk(
+            PowerLawDesign([3, 4, 5], "center"), 4, tmp_path / "shards"
+        )
+
+    def test_passing_verification(self, tmp_path, capsys):
+        self._streamed(tmp_path)
+        assert main(["verify-shards", str(tmp_path / "shards")]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFICATION PASSED" in out
+        assert "EXACT" in out
+
+    def test_corrupt_shard_fails_with_rank_named(self, tmp_path, capsys):
+        from pathlib import Path
+
+        summary = self._streamed(tmp_path)
+        victim = Path(summary.files[1])
+        data = bytearray(victim.read_bytes())
+        data[0] ^= 1
+        victim.write_bytes(bytes(data))
+        assert main(["verify-shards", str(tmp_path / "shards")]) == 1
+        out = capsys.readouterr().out
+        assert "VERIFICATION FAILED" in out
+        assert "rank 1" in out
+
+    def test_no_degrees_flag(self, tmp_path, capsys):
+        self._streamed(tmp_path)
+        assert main(["verify-shards", str(tmp_path / "shards"), "--no-degrees"]) == 0
+        assert "degree distribution" not in capsys.readouterr().out
+
+    def test_missing_manifest_errors(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert main(["verify-shards", str(tmp_path / "empty")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

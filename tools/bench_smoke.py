@@ -1,10 +1,16 @@
 #!/usr/bin/env python
 """Benchmark smoke target: ``python tools/bench_smoke.py``.
 
-Runs the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot
-test only) and asserts that a machine-readable metrics JSON was
-produced.  This is the cheap CI guard that the perf trajectory stays
-observable — the full benchmark suite is run separately.
+Two cheap CI guards:
+
+1. the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot test
+   only), asserting a machine-readable metrics JSON was produced — the
+   perf trajectory stays observable;
+2. an interrupted-then-resumed streamed run, asserting the resumed
+   shard directory is byte-identical to an uninterrupted one and passes
+   ``verify_shards`` — the durability path stays crash-safe.
+
+The full benchmark suite is run separately.
 """
 
 from __future__ import annotations
@@ -15,6 +21,55 @@ import subprocess
 import sys
 import tempfile
 from pathlib import Path
+
+
+def smoke_interrupted_resume(root: Path) -> int:
+    """Kill a streamed run mid-way, resume it, and require byte-identity
+    with an uninterrupted run plus a passing shard verification."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.design import PowerLawDesign
+    from repro.parallel import generate_to_disk, verify_shards
+    from repro.runtime import CrashInjector, SimulatedCrash
+
+    design = PowerLawDesign([3, 4, 5], "center")
+    n_ranks = 4
+    with tempfile.TemporaryDirectory(prefix="repro-resume-smoke-") as tmp:
+        clean, crashed = Path(tmp) / "clean", Path(tmp) / "crashed"
+        generate_to_disk(design, n_ranks, clean)
+        try:
+            generate_to_disk(
+                design, n_ranks, crashed, crash_hook=CrashInjector(2)
+            )
+        except SimulatedCrash:
+            pass
+        else:
+            print("bench-smoke: crash hook did not fire", file=sys.stderr)
+            return 1
+        summary = generate_to_disk(design, n_ranks, crashed, resume=True)
+        if summary.skipped_ranks != 2:
+            print(
+                f"bench-smoke: resume reused {summary.skipped_ranks} "
+                "ranks, expected 2",
+                file=sys.stderr,
+            )
+            return 1
+        for name in [f"edges.{r}.tsv" for r in range(n_ranks)] + ["manifest.json"]:
+            if (clean / name).read_bytes() != (crashed / name).read_bytes():
+                print(f"bench-smoke: {name} differs after resume", file=sys.stderr)
+                return 1
+        verification = verify_shards(crashed)
+        if not verification.passed:
+            print(
+                f"bench-smoke: shard verification failed:\n{verification.to_text()}",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        "bench-smoke: OK — interrupted+resumed run byte-identical, "
+        "verify-shards passed",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def main() -> int:
@@ -58,7 +113,7 @@ def main() -> int:
             f"rate {snapshot['run']['edges_per_second']:.3e} edges/s",
             file=sys.stderr,
         )
-    return 0
+    return smoke_interrupted_resume(root)
 
 
 if __name__ == "__main__":
