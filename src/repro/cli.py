@@ -69,6 +69,14 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a JSON metrics snapshot (per-rank durations, retries, rates)",
     )
+    p.add_argument(
+        "--memory-budget",
+        type=int,
+        default=50_000_000,
+        metavar="ENTRIES",
+        help="per-rank memory budget in matrix entries; blocks larger than "
+        "this are generated in bounded-memory tiles",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="apply the Graph500-style vertex scramble to written labels "
         "(streamed runs only; recorded in the manifest fingerprint)",
+    )
+    p_gen.add_argument(
+        "--sink",
+        choices=["assemble", "shards", "degrees"],
+        default="assemble",
+        help="where generated edges go: assemble in memory (default), "
+        "stream checksummed shards to --out (same as --stream), or "
+        "accumulate only the degree distribution",
     )
     _add_runtime_args(p_gen)
 
@@ -202,9 +218,11 @@ def cmd_generate(args: argparse.Namespace) -> int:
     from repro.validate import audit_partition
 
     design = PowerLawDesign(args.star_sizes, args.self_loop)
-    if args.stream or args.resume:
+    if args.sink == "shards" or args.stream or args.resume:
         return _cmd_generate_stream(args, design)
-    cluster = VirtualCluster(n_ranks=args.ranks)
+    if args.sink == "degrees":
+        return _cmd_generate_degrees(args, design)
+    cluster = VirtualCluster(n_ranks=args.ranks, memory_entries=args.memory_budget)
     metrics = MetricsRegistry()
     progress = ConsoleProgress(args.ranks)
     gen = ParallelKroneckerGenerator(
@@ -254,6 +272,7 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
         design,
         args.ranks,
         args.out,
+        memory_budget_entries=args.memory_budget,
         resume=args.resume,
         scramble_seed=args.scramble_seed,
         backend=args.backend,
@@ -279,6 +298,25 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
         )
         print(f"wrote metrics snapshot to {path}")
     return 0
+
+
+def _cmd_generate_degrees(args: argparse.Namespace, design: PowerLawDesign) -> int:
+    """``generate --sink degrees``: stream tiles straight into a degree
+    accumulator (no edges are kept) and check the measured distribution
+    against the closed-form prediction."""
+    from repro.parallel import streamed_degree_distribution
+    from repro.validate import check_degree_distribution
+
+    measured = streamed_degree_distribution(
+        design, args.ranks, memory_budget_entries=args.memory_budget
+    )
+    check = check_degree_distribution(measured, design.degree_distribution)
+    print(
+        f"accumulated degrees of {design.num_edges:,} predicted edges "
+        f"across {args.ranks} ranks (budget {args.memory_budget:,} entries)"
+    )
+    print(check.to_text())
+    return 0 if check.exact_match else 1
 
 
 def cmd_verify_shards(args: argparse.Namespace) -> int:
@@ -309,6 +347,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
     study = run_scaling_study(
         design.to_chain(),
         args.ranks,
+        memory_budget_entries=args.memory_budget,
         backend=args.backend,
         max_retries=args.max_retries,
         rank_timeout_s=args.rank_timeout,

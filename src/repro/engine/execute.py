@@ -1,0 +1,284 @@
+"""The single generation loop: plan → schedule → execute → sink.
+
+One worker function (:func:`_run_rank_task`) forms a rank's
+``Ap = Bp ⊗ C`` through the bounded-memory tiled kernel
+(:func:`repro.kron.kron_tiles`), applies the plan's transforms (global
+column offset, design loop removal, vertex scramble) per tile, and
+streams the tiles into the sink's consumer — so peak memory per rank is
+``max(memory_budget_entries, largest single Bp row × nnz(C))`` instead
+of ``nnz(Bp) · nnz(C)``.
+
+:func:`execute` drives the whole run through the
+:class:`~repro.runtime.RankExecutor` (retry/backoff/timeout/straggler
+accounting come for free), committing each task's outcome to the sink
+in rank order.  Fatal failures (``StorageError``, ``FatalRankError``,
+``RetryExhaustedError``) abort the sink — which leaves a resumable
+``failed`` manifest when the sink is a
+:class:`~repro.engine.sinks.ShardSink` — then re-raise.  A
+:class:`~repro.runtime.checkpoint.SimulatedCrash` (a ``BaseException``)
+deliberately sails past this handling, exactly as a real SIGKILL would.
+
+Metrics: ``engine.tasks`` (executed, excluding skipped),
+``engine.tiles`` (total tiles across all ranks — how often the kernel
+had to cut), ``engine.peak_tile_entries`` (the realized memory
+high-water mark, to compare against the budget).
+
+NOTE Imports from ``repro.parallel`` are function-local only — see
+:mod:`repro.engine.plan` on the import cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from repro.engine.plan import GenerationPlan
+from repro.engine.scheduler import StaticScheduler
+from repro.engine.sinks import Sink
+from repro.errors import FatalRankError, RetryExhaustedError, StorageError
+from repro.kron.tiles import kron_tiles
+from repro.runtime.events import RankEvents
+from repro.runtime.executor import ExecutionResult, RankExecutor
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.tracing import Tracer
+
+if TYPE_CHECKING:
+    from repro.parallel.scramble import ScramblePermutation
+    from repro.sparse.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class _RankWork:
+    """Everything one worker invocation needs (picklable)."""
+
+    rank: int
+    b_local: "COOMatrix"
+    col_base: int
+    c: "COOMatrix"
+    loop_vertex: Optional[int]
+    scramble: Optional["ScramblePermutation"]
+    max_tile_entries: Optional[int]
+    consumer_factory: Callable
+
+
+@dataclass(frozen=True)
+class _RankMappedInjector:
+    """Adapts the executor's ``(item_index, attempt)`` callback to the
+    ``(rank, attempt)`` contract.  Module-level and frozen so it pickles
+    across the multiprocessing boundary (the wrapped injector must be
+    picklable itself, as before the engine refactor)."""
+
+    ranks: Tuple[int, ...]
+    injector: Callable[[int, int], None]
+
+    def __call__(self, index: int, attempt: int) -> None:
+        self.injector(self.ranks[index], attempt)
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One rank's completed work, as returned by the worker."""
+
+    rank: int
+    nnz: int
+    tiles: int
+    peak_tile_entries: int
+    elapsed_s: float
+    payload: object
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Coordinator-side per-task accounting (no payload)."""
+
+    rank: int
+    nnz: int
+    tiles: int
+    peak_tile_entries: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """The full outcome of one :func:`execute` run."""
+
+    plan: GenerationPlan
+    sink_result: object
+    stats: Tuple[TaskStats, ...]
+    skipped_ranks: Tuple[int, ...]
+    executions: Tuple[ExecutionResult, ...]
+    elapsed_s: float
+
+    @property
+    def total_nnz(self) -> int:
+        return sum(s.nnz for s in self.stats)
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(s.tiles for s in self.stats)
+
+    @property
+    def peak_tile_entries(self) -> int:
+        return max((s.peak_tile_entries for s in self.stats), default=0)
+
+
+def _run_rank_task(work: _RankWork) -> TaskOutcome:
+    """Worker: tile one rank's block into its consumer.
+
+    The consumer is created *inside* the worker, per attempt, so a
+    retried rank starts from a clean slate; on any failure — including
+    ``BaseException`` like a simulated crash — the partial consumer
+    state is aborted before the error propagates.
+    """
+    t0 = time.perf_counter()
+    consumer = work.consumer_factory(work.rank)
+    nnz = 0
+    tiles = 0
+    peak = 0
+    try:
+        offset = work.col_base * work.c.shape[1]
+        for rows, cols, vals in kron_tiles(
+            work.b_local, work.c, work.max_tile_entries
+        ):
+            tiles += 1
+            # Peak is the pre-transform tile size: the memory actually
+            # held, before loop removal can shrink it.
+            peak = max(peak, len(rows))
+            cols = cols + offset
+            if work.loop_vertex is not None:
+                hit = (rows == work.loop_vertex) & (cols == work.loop_vertex)
+                if hit.any():
+                    keep = ~hit
+                    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+            if work.scramble is not None:
+                rows = work.scramble.apply_array(rows)
+                cols = work.scramble.apply_array(cols)
+            consumer.consume(rows, cols, vals)
+            nnz += len(rows)
+        payload = consumer.result()
+    except BaseException:
+        consumer.abort()
+        raise
+    return TaskOutcome(
+        rank=work.rank,
+        nnz=nnz,
+        tiles=tiles,
+        peak_tile_entries=peak,
+        elapsed_s=time.perf_counter() - t0,
+        payload=payload,
+    )
+
+
+def execute(
+    plan: GenerationPlan,
+    sink: Sink,
+    *,
+    backend=None,
+    executor: RankExecutor | None = None,
+    scheduler=None,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    events: RankEvents | None = None,
+    max_retries: int = 0,
+    rank_timeout_s: float | None = None,
+    failure_injector: Callable[[int, int], None] | None = None,
+) -> EngineResult:
+    """Run ``plan`` through ``sink`` — the one generation loop.
+
+    ``executor`` overrides the backend/retry/timeout arguments when
+    given; ``scheduler`` defaults to a single all-task batch
+    (:class:`~repro.engine.scheduler.StaticScheduler`).
+    ``failure_injector`` is called as ``injector(rank, attempt)`` inside
+    the worker, before the kernel — the adversary hook the failure
+    tests drive.
+    """
+    if executor is None:
+        from repro.parallel.backends import resolve_backend
+
+        executor = RankExecutor(
+            resolve_backend(backend),
+            max_retries=max_retries,
+            rank_timeout_s=rank_timeout_s,
+            metrics=metrics,
+            tracer=tracer,
+            events=events,
+        )
+    if scheduler is None:
+        scheduler = StaticScheduler()
+    skipped = tuple(sorted(sink.open(plan, metrics=metrics)))
+    t0 = time.perf_counter()
+    skip_set = set(skipped)
+    pending = [t for t in plan.tasks if t.rank not in skip_set]
+    batches = scheduler.schedule(
+        pending, memory_budget_entries=plan.memory_budget_entries
+    )
+    if metrics is not None:
+        metrics.counter("engine.tasks").inc(len(pending))
+    executions: List[ExecutionResult] = []
+    stats: List[TaskStats] = []
+    peak = 0
+    try:
+        for batch in batches:
+            ranks = tuple(t.rank for t in batch)
+            injector = (
+                None
+                if failure_injector is None
+                else _RankMappedInjector(ranks, failure_injector)
+            )
+            work = [
+                _RankWork(
+                    rank=t.rank,
+                    b_local=t.assignment.b_local,
+                    col_base=t.assignment.col_base,
+                    c=plan.c_matrix,
+                    loop_vertex=plan.loop_vertex,
+                    scramble=plan.scramble,
+                    max_tile_entries=plan.memory_budget_entries,
+                    consumer_factory=sink.consumer_factory(t),
+                )
+                for t in batch
+            ]
+            span_cm = (
+                tracer.span("engine.batch", ranks=len(batch))
+                if tracer is not None
+                else nullcontext()
+            )
+            with span_cm:
+                execution = executor.run(_run_rank_task, work, injector=injector)
+            executions.append(execution)
+            for task, outcome in zip(batch, execution.results):
+                sink.commit(task, outcome)
+                stats.append(
+                    TaskStats(
+                        rank=outcome.rank,
+                        nnz=outcome.nnz,
+                        tiles=outcome.tiles,
+                        peak_tile_entries=outcome.peak_tile_entries,
+                        elapsed_s=outcome.elapsed_s,
+                    )
+                )
+                if metrics is not None:
+                    metrics.counter("engine.tiles").inc(outcome.tiles)
+                    if outcome.peak_tile_entries > peak:
+                        peak = outcome.peak_tile_entries
+                        metrics.gauge("engine.peak_tile_entries").set(peak)
+    except (StorageError, FatalRankError, RetryExhaustedError) as exc:
+        # Storage is unusable or a rank is unrecoverable: let the sink
+        # leave clean state behind (ShardSink commits a `failed`
+        # manifest), then re-raise for the caller.  SimulatedCrash is a
+        # BaseException and deliberately bypasses this.
+        sink.abort(exc)
+        raise
+    elapsed = time.perf_counter() - t0
+    stats.sort(key=lambda s: s.rank)
+    sink_result = sink.finalize(plan, elapsed_s=elapsed, skipped=skipped)
+    return EngineResult(
+        plan=plan,
+        sink_result=sink_result,
+        stats=tuple(stats),
+        skipped_ranks=skipped,
+        executions=tuple(executions),
+        elapsed_s=elapsed,
+    )

@@ -1,0 +1,97 @@
+"""Ordering and batching rank tasks under a memory budget.
+
+A scheduler turns a plan's task list into an ordered list of *batches*;
+the engine hands each batch to the
+:class:`~repro.runtime.RankExecutor` as one ``run()`` call.  Batch
+granularity is therefore the knob between the two historical driver
+shapes:
+
+* one batch holding every task (``StaticScheduler()``) — the assembled
+  generator's shape: maximal backend parallelism, one
+  ``ExecutionResult`` covering the whole run;
+* one task per batch (``StaticScheduler(batch_size=1)``) — the streamed
+  generator's shape: the sink commits after every rank, and at most one
+  rank's results are held between commits;
+* budget-packed batches (``StaticScheduler(group_by_budget=True)``) —
+  consecutive tasks greedily grouped so a batch's *predicted* output
+  entries stay within ``memory_budget_entries`` (an oversized single
+  task forms its own batch and is tiled inside the kernel instead).
+
+The interface is a single method, so a work-stealing or
+locality-aware scheduler (see ROADMAP open items) plugs in without
+touching the engine loop: anything with
+``schedule(tasks, memory_budget_entries=...) -> [batch, ...]`` works.
+Determinism contract: batches must preserve ascending rank order —
+sink commit order and manifest write order follow it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.plan import RankTask
+from repro.errors import GenerationError
+
+
+@dataclass(frozen=True)
+class StaticScheduler:
+    """Deterministic rank-order batching (the default scheduler).
+
+    Exactly one of the two knobs may be set: ``batch_size`` fixes the
+    batch length; ``group_by_budget`` packs consecutive tasks by their
+    ``estimated_entries`` against the plan's budget.  With neither, all
+    tasks form one batch.
+    """
+
+    batch_size: Optional[int] = None
+    group_by_budget: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise GenerationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.batch_size is not None and self.group_by_budget:
+            raise GenerationError(
+                "batch_size and group_by_budget are mutually exclusive"
+            )
+
+    def schedule(
+        self,
+        tasks: Sequence[RankTask],
+        *,
+        memory_budget_entries: Optional[int] = None,
+    ) -> List[Tuple[RankTask, ...]]:
+        ordered = sorted(tasks, key=lambda t: t.rank)
+        if not ordered:
+            return []
+        if self.group_by_budget:
+            if memory_budget_entries is None:
+                raise GenerationError(
+                    "group_by_budget requires a memory_budget_entries"
+                )
+            return self._pack(ordered, memory_budget_entries)
+        if self.batch_size is None:
+            return [tuple(ordered)]
+        return [
+            tuple(ordered[i : i + self.batch_size])
+            for i in range(0, len(ordered), self.batch_size)
+        ]
+
+    @staticmethod
+    def _pack(
+        ordered: Sequence[RankTask], budget: int
+    ) -> List[Tuple[RankTask, ...]]:
+        batches: List[Tuple[RankTask, ...]] = []
+        current: List[RankTask] = []
+        load = 0
+        for task in ordered:
+            if current and load + task.estimated_entries > budget:
+                batches.append(tuple(current))
+                current, load = [], 0
+            current.append(task)
+            load += task.estimated_entries
+        if current:
+            batches.append(tuple(current))
+        return batches

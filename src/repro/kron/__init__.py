@@ -15,6 +15,7 @@ Three tiers, matching how the paper uses the operator:
 
 from repro.semiring.ops import kron_dense
 from repro.kron.sparse_kron import kron, kron_chain
+from repro.kron.tiles import kron_tiles, tile_row_ranges
 from repro.kron.chain import KroneckerChain
 from repro.kron.indexing import MixedRadix
 from repro.kron.permute import (
@@ -32,6 +33,8 @@ __all__ = [
     "kron",
     "kron_chain",
     "kron_dense",
+    "kron_tiles",
+    "tile_row_ranges",
     "KroneckerChain",
     "MixedRadix",
     "connected_components",

@@ -28,6 +28,7 @@ from repro.parallel.backends import (
     MultiprocessingBackend,
     SerialBackend,
     ThreadBackend,
+    default_start_method,
     get_backend,
     list_backends,
     resolve_backend,
@@ -72,6 +73,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "MultiprocessingBackend",
+    "default_start_method",
     "get_backend",
     "list_backends",
     "resolve_backend",

@@ -13,32 +13,32 @@ bit-identical to running the ranks in a plain loop.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.execute import execute as engine_execute
+from repro.engine.plan import chain_fingerprint, plan_from_partition
+from repro.engine.scheduler import StaticScheduler
+from repro.engine.sinks import AssemblySink
 from repro.errors import GenerationError
 from repro.graphs.adjacency import Graph
 from repro.graphs.star import SelfLoop
 from repro.kron.chain import KroneckerChain
-from repro.kron.sparse_kron import kron
 from repro.parallel.backends import BackendLike, resolve_backend
 from repro.parallel.machine import VirtualCluster
-from repro.parallel.partition import PartitionPlan, RankAssignment, partition_bc
+from repro.parallel.partition import PartitionPlan, partition_bc
 from repro.runtime.events import RankEvents
 from repro.runtime.executor import ExecutionResult, RankExecutor
-from repro.runtime.metrics import MetricsRegistry
+
+# Re-exported for backwards compatibility; the clamp now lives with the
+# other rate-accounting primitives in repro.runtime.metrics.
+from repro.runtime.metrics import MIN_ELAPSED_S, MetricsRegistry
 from repro.runtime.tracing import Tracer
 from repro.sparse.coo import COOMatrix
 from repro.sparse.kernels import lex_sort_triples
-
-#: Elapsed times are clamped to this floor before any rate division —
-#: tiny designs on fast machines legitimately measure 0.0 at clock
-#: resolution, and a rate estimate beats an exception.
-MIN_ELAPSED_S = 1e-9
 
 
 @dataclass(frozen=True)
@@ -64,15 +64,6 @@ class RankBlock:
         """(rows, cols, vals) of this block in A's global coordinates."""
         offset = self.col_base * self.c_cols
         return self.block.rows, self.block.cols + offset, self.block.vals
-
-
-def _generate_rank(args: Tuple[RankAssignment, COOMatrix]) -> Tuple[int, int, COOMatrix, float]:
-    """Worker: form one rank's ``Bp ⊗ C``.  Module-level for pickling."""
-    assignment, c = args
-    t0 = time.perf_counter()
-    block = kron(assignment.b_local, c)
-    elapsed = time.perf_counter() - t0
-    return assignment.rank, assignment.col_base, block, elapsed
 
 
 class ParallelKroneckerGenerator:
@@ -142,25 +133,62 @@ class ParallelKroneckerGenerator:
         Transient rank failures (including injected ones) are retried by
         the executor within its budget; the per-rank accounting of the
         run is kept in :attr:`last_execution`.
+
+        Work routes through :func:`repro.engine.execute.execute` with an
+        :class:`~repro.engine.sinks.AssemblySink` and a single all-rank
+        batch (this generator's historical shape); the cluster's
+        ``memory_entries`` doubles as the kernel tile budget, so a block
+        larger than the budget is produced in bounded row-slices and the
+        returned triples are byte-identical either way.
         """
         c = self._c_matrix
-        work = [(a, c) for a in self.plan.assignments]
-        execution = self.executor.run(
-            _generate_rank, work, injector=self.failure_injector
+        plan = plan_from_partition(
+            self.plan,
+            num_vertices=self.chain.num_vertices,
+            memory_budget_entries=self.cluster.memory_entries,
+            fingerprint=chain_fingerprint(
+                self.chain,
+                n_ranks=self.cluster.n_ranks,
+                split_index=self.plan.split_index,
+            ),
+            expected_nnz=self.chain.nnz,
+            c=c,
         )
-        self.last_execution = execution
-        results = list(execution.results)
-        results.sort(key=lambda r: r[0])
-        blocks = [
-            RankBlock(
-                rank=rank,
-                block=block,
-                col_base=col_base,
-                c_cols=c.shape[1],
-                elapsed_s=elapsed,
+        result = engine_execute(
+            plan,
+            AssemblySink(),
+            executor=self.executor,
+            scheduler=StaticScheduler(),
+            metrics=self.metrics,
+            failure_injector=self.failure_injector,
+        )
+        self.last_execution = result.executions[0] if result.executions else None
+        bp_rows = {a.rank: a.b_local.shape[0] for a in self.plan.assignments}
+        bp_cols = {a.rank: a.b_local.shape[1] for a in self.plan.assignments}
+        col_bases = {a.rank: a.col_base for a in self.plan.assignments}
+        blocks = []
+        for stats in result.stats:
+            rank = stats.rank
+            rows, cols, vals = result.sink_result.blocks[rank]
+            offset = col_bases[rank] * c.shape[1]
+            # Subtracting the constant global offset preserves the
+            # canonical (row, col) order, so no re-sort is needed.
+            local = COOMatrix(
+                (bp_rows[rank] * c.shape[0], bp_cols[rank] * c.shape[1]),
+                rows,
+                cols - offset,
+                vals,
+                _canonical=True,
             )
-            for rank, col_base, block, elapsed in results
-        ]
+            blocks.append(
+                RankBlock(
+                    rank=rank,
+                    block=local,
+                    col_base=col_bases[rank],
+                    c_cols=c.shape[1],
+                    elapsed_s=stats.elapsed_s,
+                )
+            )
         expected = self.chain.nnz
         produced = sum(b.nnz for b in blocks)
         if produced != expected:

@@ -13,6 +13,12 @@ Two decisions, both made here:
 
 Both the slice nnz balance and the disjoint-union property are exact and
 are re-checked by :mod:`repro.validate.structure`.
+
+Over-decomposition (``n_ranks > nnz(B)``) is rejected by default — every
+rank should own at least one triple — but ``allow_empty=True`` relaxes
+this for engine-level edge-case testing and for schedulers that tolerate
+idle ranks: surplus ranks receive an empty ``Bp`` (shape ``(nB, 1)``,
+``col_base=0``), which contributes nothing to the union.
 """
 
 from __future__ import annotations
@@ -28,13 +34,19 @@ from repro.parallel.machine import VirtualCluster
 from repro.sparse.coo import COOMatrix
 
 
-def choose_split(chain: KroneckerChain, cluster: VirtualCluster) -> int:
+def choose_split(
+    chain: KroneckerChain,
+    cluster: VirtualCluster,
+    *,
+    allow_empty: bool = False,
+) -> int:
     """Pick the split index k for ``A = B ⊗ C`` under the memory budget.
 
     Chooses the k that makes nnz(B) as large as possible (more triples to
     spread over ranks → finer balance) while both nnz(B) and nnz(C) stay
     within ``cluster.memory_entries``.  Additionally requires
-    ``nnz(B) >= n_ranks`` so every rank receives at least one triple.
+    ``nnz(B) >= n_ranks`` so every rank receives at least one triple,
+    unless ``allow_empty`` permits over-decomposition.
     """
     if chain.num_factors < 2:
         raise PartitionError("need at least two factors to split B ⊗ C")
@@ -49,10 +61,13 @@ def choose_split(chain: KroneckerChain, cluster: VirtualCluster) -> int:
     for k in range(1, chain.num_factors):
         prefix *= nnzs[k - 1]
         suffix = total // prefix
-        if prefix <= budget and suffix <= budget and prefix >= cluster.n_ranks:
-            if prefix > best_bnnz:
-                best_bnnz = prefix
-                best_k = k
+        if prefix > budget or suffix > budget:
+            continue
+        if prefix < cluster.n_ranks and not allow_empty:
+            continue
+        if prefix > best_bnnz:
+            best_bnnz = prefix
+            best_k = k
     if best_k is None:
         raise PartitionError(
             f"no split of factor nnzs {nnzs} fits budget "
@@ -108,43 +123,90 @@ class PartitionPlan:
         return min(counts), max(counts)
 
 
-def partition_b_triples(b: COOMatrix, n_ranks: int) -> List[RankAssignment]:
+def _csc_triples(b: COOMatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """B's triples in CSC order (by column, then row)."""
+    order = np.lexsort((b.rows, b.cols))
+    return b.rows[order], b.cols[order], b.vals[order]
+
+
+def _check_rank_count(b_nnz: int, n_ranks: int, allow_empty: bool) -> None:
+    if n_ranks < 1:
+        raise PartitionError(f"need at least one rank, got {n_ranks}")
+    if b_nnz < n_ranks and not allow_empty:
+        raise PartitionError(
+            f"B has only {b_nnz} triples for {n_ranks} ranks; "
+            "choose a later split point"
+        )
+
+
+def _slice_bounds(nnz: int, n_ranks: int) -> np.ndarray:
+    """Near-equal contiguous range bounds over the CSC triple list."""
+    return np.linspace(0, nnz, n_ranks + 1).astype(np.int64)
+
+
+def _make_assignment(
+    b_rows_dim: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    rank: int,
+    s: int,
+    e: int,
+) -> RankAssignment:
+    r_slice = rows[s:e]
+    c_slice = cols[s:e]
+    v_slice = vals[s:e]
+    if len(c_slice) == 0:
+        col_base = 0
+        width = 1
+    else:
+        col_base = int(c_slice.min())
+        width = int(c_slice.max()) - col_base + 1
+    local = COOMatrix((b_rows_dim, width), r_slice, c_slice - col_base, v_slice)
+    return RankAssignment(
+        rank=rank, b_local=local, col_base=col_base, triple_range=(s, e)
+    )
+
+
+def partition_b_triples(
+    b: COOMatrix, n_ranks: int, *, allow_empty: bool = False
+) -> List[RankAssignment]:
     """Slice B's CSC-ordered triples into near-equal contiguous runs.
 
     Every rank receives ``floor(nnz/Np)`` or ``ceil(nnz/Np)`` triples
     (the paper's equal-nnz property, exact when Np divides nnz).
     """
-    if n_ranks < 1:
-        raise PartitionError(f"need at least one rank, got {n_ranks}")
-    if b.nnz < n_ranks:
-        raise PartitionError(
-            f"B has only {b.nnz} triples for {n_ranks} ranks; "
-            "choose a later split point"
+    _check_rank_count(b.nnz, n_ranks, allow_empty)
+    rows, cols, vals = _csc_triples(b)
+    bounds = _slice_bounds(b.nnz, n_ranks)
+    return [
+        _make_assignment(
+            b.shape[0], rows, cols, vals, rank,
+            int(bounds[rank]), int(bounds[rank + 1]),
         )
-    # CSC order: by column, then row.
-    order = np.lexsort((b.rows, b.cols))
-    rows = b.rows[order]
-    cols = b.cols[order]
-    vals = b.vals[order]
-    # Near-equal contiguous ranges.
-    bounds = np.linspace(0, b.nnz, n_ranks + 1).astype(np.int64)
-    out: List[RankAssignment] = []
-    for rank in range(n_ranks):
-        s, e = int(bounds[rank]), int(bounds[rank + 1])
-        r_slice = rows[s:e]
-        c_slice = cols[s:e]
-        v_slice = vals[s:e]
-        col_base = int(c_slice.min())
-        width = int(c_slice.max()) - col_base + 1
-        local = COOMatrix(
-            (b.shape[0], width), r_slice, c_slice - col_base, v_slice
-        )
-        out.append(
-            RankAssignment(
-                rank=rank, b_local=local, col_base=col_base, triple_range=(s, e)
-            )
-        )
-    return out
+        for rank in range(n_ranks)
+    ]
+
+
+def partition_rank(
+    b: COOMatrix, n_ranks: int, rank: int, *, allow_empty: bool = False
+) -> RankAssignment:
+    """Build a single rank's assignment without materializing the rest.
+
+    Identical to ``partition_b_triples(b, n_ranks)[rank]`` — the sort and
+    bounds are shared code paths — but O(sort) instead of O(sort + Np
+    slices), which matters when probing one rank of a 40k-core layout
+    (:func:`repro.parallel.simulate.simulate_rate_curve`).
+    """
+    _check_rank_count(b.nnz, n_ranks, allow_empty)
+    if not 0 <= rank < n_ranks:
+        raise PartitionError(f"rank {rank} out of range for {n_ranks} ranks")
+    rows, cols, vals = _csc_triples(b)
+    bounds = _slice_bounds(b.nnz, n_ranks)
+    return _make_assignment(
+        b.shape[0], rows, cols, vals, rank,
+        int(bounds[rank]), int(bounds[rank + 1]),
+    )
 
 
 def partition_bc(
@@ -152,9 +214,14 @@ def partition_bc(
     cluster: VirtualCluster,
     *,
     split_index: int | None = None,
+    allow_empty: bool = False,
 ) -> PartitionPlan:
     """Build the complete partition plan for ``chain`` on ``cluster``."""
-    k = split_index if split_index is not None else choose_split(chain, cluster)
+    k = (
+        split_index
+        if split_index is not None
+        else choose_split(chain, cluster, allow_empty=allow_empty)
+    )
     b_chain, c_chain = chain.split(k)
     if b_chain.nnz > cluster.memory_entries or c_chain.nnz > cluster.memory_entries:
         raise PartitionError(
@@ -162,7 +229,7 @@ def partition_bc(
             f"budget is {cluster.memory_entries:,} entries per rank"
         )
     b = b_chain.materialize()
-    assignments = partition_b_triples(b, cluster.n_ranks)
+    assignments = partition_b_triples(b, cluster.n_ranks, allow_empty=allow_empty)
     return PartitionPlan(
         split_index=k,
         b_chain=b_chain,

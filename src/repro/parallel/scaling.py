@@ -20,6 +20,7 @@ Every figure produced from this module is labelled simulated.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -29,7 +30,7 @@ from repro.kron.sparse_kron import kron
 from repro.parallel.backends import BackendLike
 from repro.parallel.generator import ParallelKroneckerGenerator
 from repro.parallel.machine import VirtualCluster
-from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.metrics import MIN_ELAPSED_S, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -111,7 +112,7 @@ def measure_rank_rate(
         total_edges=total,
         slowest_rank_s=slowest,
         mean_rank_s=sum(times) / len(times),
-        aggregate_edges_per_s=total / slowest,
+        aggregate_edges_per_s=total / max(slowest, MIN_ELAPSED_S),
     )
 
 
@@ -119,16 +120,30 @@ def run_scaling_study(
     chain: KroneckerChain,
     rank_counts: Sequence[int],
     *,
-    memory_entries: int = 50_000_000,
+    memory_budget_entries: int = 50_000_000,
     backend: BackendLike = None,
     max_retries: int = 0,
     rank_timeout_s: float | None = None,
     metrics: MetricsRegistry | None = None,
+    memory_entries: int | None = None,
 ) -> ScalingStudy:
-    """Sweep ``rank_counts`` and collect the scaling curve for ``chain``."""
+    """Sweep ``rank_counts`` and collect the scaling curve for ``chain``.
+
+    ``memory_entries`` is a deprecated alias of ``memory_budget_entries``
+    (warns) — the same shim every other driver carries.
+    """
+    if memory_entries is not None:
+        warnings.warn(
+            "memory_entries is deprecated; use memory_budget_entries",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        memory_budget_entries = memory_entries
     study = ScalingStudy()
     for n in rank_counts:
-        cluster = VirtualCluster(n_ranks=int(n), memory_entries=memory_entries)
+        cluster = VirtualCluster(
+            n_ranks=int(n), memory_entries=memory_budget_entries
+        )
         study.points.append(
             measure_rank_rate(
                 chain,

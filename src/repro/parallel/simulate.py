@@ -15,15 +15,16 @@ explicit reason (never silently).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.design.star_design import PowerLawDesign
+from repro.engine.execute import execute as engine_execute
+from repro.engine.plan import plan_from_partition
+from repro.engine.sinks import AssemblySink
 from repro.errors import PartitionError
-from repro.kron.sparse_kron import kron
-from repro.parallel.partition import partition_b_triples
-from repro.runtime.metrics import MetricsRegistry
+from repro.parallel.partition import PartitionPlan, partition_rank
+from repro.runtime.metrics import MIN_ELAPSED_S, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -133,7 +134,10 @@ def simulate_rate_curve(
             if metrics is not None:
                 metrics.counter("simulate.points_skipped").inc()
             continue
-        assignment = partition_b_triples(b, cores)[0]
+        # Only rank 0's slice is ever timed; partition_rank builds just
+        # that one, so probing 40k-core layouts stays O(sort) instead of
+        # materializing 40k assignments.
+        assignment = partition_rank(b, cores, 0)
         block_entries = assignment.nnz * c.nnz
         if block_entries > max_block_entries:
             points.append(
@@ -152,13 +156,23 @@ def simulate_rate_curve(
             if metrics is not None:
                 metrics.counter("simulate.points_skipped").inc()
             continue
+        plan = plan_from_partition(
+            PartitionPlan(
+                split_index=split_index,
+                b_chain=b_chain,
+                c_chain=c_chain,
+                assignments=(assignment,),
+            ),
+            num_vertices=chain.num_vertices,
+            memory_budget_entries=max_block_entries,
+            c=c,
+        )
         best = float("inf")
         produced = 0
         for _ in range(max(1, repeats)):
-            t0 = time.perf_counter()
-            block = kron(assignment.b_local, c)
-            best = min(best, time.perf_counter() - t0)
-            produced = block.nnz
+            result = engine_execute(plan, AssemblySink())
+            best = min(best, result.stats[0].elapsed_s)
+            produced = result.stats[0].nnz
         if metrics is not None:
             metrics.histogram("simulate.rank_s").observe(best)
         points.append(
@@ -166,7 +180,7 @@ def simulate_rate_curve(
                 cores=cores,
                 per_rank_edges=produced,
                 per_rank_seconds=best,
-                aggregate_edges_per_s=cores * produced / best,
+                aggregate_edges_per_s=cores * produced / max(best, MIN_ELAPSED_S),
                 measured=True,
             )
         )

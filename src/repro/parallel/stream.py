@@ -2,8 +2,16 @@
 
 The paper's production mode never assembles ``A``: each rank writes its
 block to its own file and downstream systems consume the files.  This
-module reproduces that pipeline end to end on one machine while holding
-at most ONE rank block in memory at a time:
+module reproduces that pipeline end to end on one machine — since the
+engine refactor it is a thin adapter: :func:`generate_to_disk` is
+:func:`repro.engine.execute.execute` over a
+:class:`~repro.engine.sinks.ShardSink` with one-rank batches, and
+:func:`streamed_degree_distribution` the same over a
+:class:`~repro.engine.sinks.DegreeSink`.  Memory now obeys the budget
+*within* a rank too: blocks larger than ``memory_budget_entries`` are
+produced in bounded row-slice tiles (:func:`repro.kron.kron_tiles`) and
+streamed to disk incrementally, with bytes, checksums, and the manifest
+identical to whole-block writes.
 
 * :func:`generate_to_disk` — iterate ranks, form ``Ap = Bp ⊗ C``, write
   it atomically (temp file → fsync → rename) with a SHA-256 checksum,
@@ -17,10 +25,8 @@ at most ONE rank block in memory at a time:
 * :func:`verify_shards` — recompute every shard checksum and cross-check
   total nnz and the streamed degree distribution against the
   closed-form prediction (the CLI's ``verify-shards``);
-* :class:`StreamingDegreeAccumulator` — fold per-block row counts into a
-  global degree histogram without the union matrix;
 * :func:`validate_streamed` — the measured==predicted degree check for
-  graphs bigger than RAM (bounded by per-rank block size only).
+  graphs bigger than RAM (bounded by the tile budget only).
 
 Because every rank block is a pure function of (design, partition,
 scramble seed), an interrupted-then-resumed run produces shards and a
@@ -30,43 +36,32 @@ the durability tests assert.
 
 from __future__ import annotations
 
-import time
 import warnings
-from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.design.distribution import DegreeDistribution
 from repro.design.star_design import PowerLawDesign
-from repro.errors import (
-    FatalRankError,
-    GenerationError,
-    ManifestError,
-    RetryExhaustedError,
-    StorageError,
+from repro.engine.execute import execute as engine_execute
+from repro.engine.plan import plan_from_design
+from repro.engine.scheduler import StaticScheduler
+from repro.engine.sinks import (  # noqa: F401  (re-exported, historical home)
+    DegreeSink,
+    ShardSink,
+    StreamingDegreeAccumulator,
+    StreamSummary,
 )
-from repro.kron.sparse_kron import kron
-from repro.parallel.backends import BackendLike, resolve_backend
-from repro.parallel.machine import VirtualCluster
-from repro.parallel.partition import PartitionPlan, RankAssignment, partition_bc
-from repro.parallel.scramble import ScramblePermutation, scramble_permutation
+from repro.errors import IOFormatError, ManifestError
+from repro.parallel.backends import BackendLike
 from repro.runtime.checkpoint import (
     STATUS_COMPLETE,
-    STATUS_FAILED,
-    STATUS_IN_PROGRESS,
     RunManifest,
-    ShardRecord,
-    atomic_write_bytes,
-    classify_storage_error,
     design_fingerprint,
-    payload_checksum,
-    quarantine_shard,
     verify_shard_record,
 )
-from repro.runtime.executor import RankExecutor
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.tracing import Tracer
 from repro.validate.degree_check import DegreeCheck, check_degree_distribution
@@ -85,149 +80,6 @@ def _resolve_memory_alias(
         )
         return memory_entries
     return memory_budget_entries
-
-
-@dataclass(frozen=True)
-class StreamSummary:
-    """Accounting for one streamed generation run.
-
-    ``files`` holds the absolute shard paths as strings (convertible
-    with ``Path(p)``), sorted by rank — index ``i`` is always rank
-    ``i``'s shard, whether it was generated this run or reused from a
-    checkpoint.
-    """
-
-    n_ranks: int
-    total_edges: int
-    max_block_edges: int
-    files: Tuple[str, ...]
-    elapsed_s: float
-    skipped_ranks: int = 0
-    manifest_path: Optional[str] = None
-
-    @property
-    def peak_block_fraction(self) -> float:
-        """Largest single block as a fraction of the whole graph — the
-        memory high-water mark relative to full assembly."""
-        return self.max_block_edges / self.total_edges if self.total_edges else 0.0
-
-
-class StreamingDegreeAccumulator:
-    """Folds rank blocks into an exact global degree histogram.
-
-    Works because the paper's partition is column-disjoint: every rank
-    block spans all rows, and a vertex's degree is the sum of its row
-    counts across blocks.  Accumulates an int64 per-vertex vector, which
-    at ~10⁸ vertices is the real bound (8 bytes/vertex), far below the
-    edge count the full matrix would need.
-    """
-
-    def __init__(self, num_vertices: int) -> None:
-        if num_vertices < 1:
-            raise GenerationError("graph must have at least one vertex")
-        self.num_vertices = num_vertices
-        self._row_counts = np.zeros(num_vertices, dtype=np.int64)
-        self.edges_seen = 0
-
-    def add_block_rows(self, rows: np.ndarray) -> None:
-        """Fold one block's row indices in."""
-        if len(rows):
-            self._row_counts += np.bincount(rows, minlength=self.num_vertices)
-            self.edges_seen += len(rows)
-
-    def remove_self_loop(self, vertex: int) -> None:
-        """Account for the design's loop-removal at ``vertex``."""
-        if self._row_counts[vertex] < 1:
-            raise GenerationError(f"vertex {vertex} has no entries to remove")
-        self._row_counts[vertex] -= 1
-        self.edges_seen -= 1
-
-    def distribution(self) -> DegreeDistribution:
-        """The accumulated exact degree distribution."""
-        degrees, counts = np.unique(self._row_counts, return_counts=True)
-        return DegreeDistribution(
-            {int(d): int(c) for d, c in zip(degrees, counts)}
-        )
-
-
-# -- the per-rank worker ------------------------------------------------------
-def _rank_payload(
-    assignment: RankAssignment,
-    c,
-    loop_vertex: int | None,
-    scramble: ScramblePermutation | None,
-) -> Tuple[bytes, int]:
-    """Form one rank's final block and serialize it to TSV bytes.
-
-    Pure function of (design, plan, seed): the byte stream is what makes
-    resumed runs byte-identical to uninterrupted ones.
-    """
-    block = kron(assignment.b_local, c)
-    offset = assignment.col_base * c.shape[1]
-    rows, cols, vals = block.rows, block.cols + offset, block.vals
-    if loop_vertex is not None:
-        hit = (rows == loop_vertex) & (cols == loop_vertex)
-        if hit.any():
-            keep = ~hit
-            rows, cols, vals = rows[keep], cols[keep], vals[keep]
-    if scramble is not None:
-        rows = scramble.apply_array(rows)
-        cols = scramble.apply_array(cols)
-    lines = [
-        f"{int(r)}\t{int(cc)}\t{int(v)}\n" for r, cc, v in zip(rows, cols, vals)
-    ]
-    return "".join(lines).encode("ascii"), len(lines)
-
-
-def _stream_rank(args: Tuple) -> ShardRecord:
-    """Worker: generate one rank's shard and write it atomically.
-
-    Module-level for pickling.  Fatal storage errors (disk full,
-    permission, read-only) are reclassified as
-    :class:`~repro.errors.StorageError` so the executor aborts instead
-    of burning its retry budget on a full disk.
-    """
-    assignment, c, loop_vertex, scramble, directory, filename = args
-    payload, nnz = _rank_payload(assignment, c, loop_vertex, scramble)
-    checksum = payload_checksum(payload)
-    path = Path(directory) / filename
-    try:
-        atomic_write_bytes(path, payload)
-    except OSError as exc:  # StorageError passes through untouched
-        raise classify_storage_error(exc, f"writing shard {filename}") from exc
-    return ShardRecord(
-        rank=assignment.rank,
-        filename=filename,
-        nnz=nnz,
-        checksum=checksum,
-        size_bytes=len(payload),
-    )
-
-
-def _reconcile_existing_shards(
-    manifest: RunManifest,
-    directory: Path,
-    fingerprint: Dict,
-    metrics: MetricsRegistry | None,
-) -> None:
-    """Validate a loaded manifest's shards for resume.
-
-    The fingerprint must match exactly; recorded shards that fail their
-    checksum (or vanished) are quarantined as ``*.corrupt`` and dropped
-    from the manifest so they regenerate.
-    """
-    manifest.require_fingerprint(fingerprint)
-    for rank in manifest.completed_ranks():
-        record = manifest.shards[rank]
-        ok, reason = verify_shard_record(directory, record)
-        if ok:
-            continue
-        path = directory / record.filename
-        if path.is_file():
-            quarantine_shard(path)
-            if metrics is not None:
-                metrics.counter("checkpoint.shards_quarantined").inc()
-        manifest.drop_shard(rank)
 
 
 def generate_to_disk(
@@ -250,12 +102,13 @@ def generate_to_disk(
     """Generate ``design`` rank by rank, writing per-rank TSV shards
     crash-safely.
 
-    Holds exactly one block at a time; the design self-loop (if any) is
-    removed from the owning rank's block before writing, so the files
-    are the *final* graph.  Every shard is written atomically (temp file
-    → fsync → rename), checksummed, and committed to ``manifest.json``
-    (also atomic) before the next rank starts — killing the process at
-    any instant leaves a valid partial checkpoint.
+    Holds at most one budget-sized tile of one block at a time; the
+    design self-loop (if any) is removed from the owning rank's block
+    before writing, so the files are the *final* graph.  Every shard is
+    written atomically (temp file → fsync → rename), checksummed, and
+    committed to ``manifest.json`` (also atomic) before the next rank
+    starts — killing the process at any instant leaves a valid partial
+    checkpoint.
 
     Parameters beyond the original signature:
 
@@ -281,128 +134,35 @@ def generate_to_disk(
 
     Metrics: ``checkpoint.ranks_skipped`` (reused from checkpoint),
     ``checkpoint.ranks_regenerated``, ``checkpoint.shards_quarantined``,
-    ``checkpoint.manifest_writes``, plus the existing per-rank
-    ``stream.rank_s`` / ``stream.edges_written``.
+    ``checkpoint.manifest_writes``, the per-rank ``stream.rank_s`` /
+    ``stream.edges_written``, and the engine's ``engine.tiles`` /
+    ``engine.peak_tile_entries``.
     """
     memory_budget_entries = _resolve_memory_alias(
         memory_budget_entries, memory_entries
     )
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    chain = design.to_chain()
-    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_budget_entries)
-    plan = partition_bc(chain, cluster)
-    c = plan.c_chain.materialize()
-    loop_vertex = design.loop_vertex
-    scramble = (
-        scramble_permutation(design.num_vertices, seed=scramble_seed)
-        if scramble_seed is not None
-        else None
+    plan = plan_from_design(
+        design,
+        n_ranks,
+        memory_budget_entries=memory_budget_entries,
+        scramble_seed=scramble_seed,
     )
-    fingerprint = design_fingerprint(
-        design, n_ranks=n_ranks, scramble_seed=scramble_seed
+    sink = ShardSink(
+        directory, prefix=prefix, resume=resume, crash_hook=crash_hook
     )
-
-    manifest = None
-    if resume and RunManifest.exists(directory):
-        manifest = RunManifest.load(directory)
-        _reconcile_existing_shards(manifest, directory, fingerprint, metrics)
-        manifest.status = STATUS_IN_PROGRESS
-    if manifest is None:
-        manifest = RunManifest(fingerprint=fingerprint, prefix=prefix)
-
-    def commit() -> Path:
-        if metrics is not None:
-            metrics.counter("checkpoint.manifest_writes").inc()
-        return manifest.save(directory)
-
-    skipped = manifest.completed_ranks()
-    pending = [plan.assignments[r] for r in manifest.missing_ranks()]
-    if metrics is not None:
-        metrics.counter("checkpoint.ranks_skipped").inc(len(skipped))
-        metrics.counter("checkpoint.ranks_regenerated").inc(len(pending))
-    manifest_path = commit()
-
-    executor = RankExecutor(
-        resolve_backend(backend),
-        max_retries=max_retries,
+    result = engine_execute(
+        plan,
+        sink,
+        backend=backend,
+        # One-rank batches: the sink commits after every rank and at
+        # most one rank's results are held between commits.
+        scheduler=StaticScheduler(batch_size=1),
         metrics=metrics,
         tracer=tracer,
+        max_retries=max_retries,
+        failure_injector=failure_injector,
     )
-    t0 = time.perf_counter()
-    completed = len(skipped)
-    try:
-        for assignment in pending:
-            rank = assignment.rank
-            rank_t0 = time.perf_counter()
-            span_cm = (
-                tracer.span("stream.rank", rank=rank)
-                if tracer is not None
-                else nullcontext()
-            )
-            with span_cm:
-                # One-rank batches keep the one-block-in-memory bound and
-                # give each rank the executor's full retry budget.
-                injector = (
-                    (lambda _idx, attempt: failure_injector(rank, attempt))
-                    if failure_injector is not None
-                    else None
-                )
-                work = (
-                    assignment,
-                    c,
-                    loop_vertex,
-                    scramble,
-                    str(directory),
-                    f"{prefix}.{rank}.tsv",
-                )
-                execution = executor.run(_stream_rank, [work], injector=injector)
-                record: ShardRecord = execution.results[0]
-            manifest.record_shard(record)
-            commit()
-            completed += 1
-            if metrics is not None:
-                metrics.histogram("stream.rank_s").observe(
-                    time.perf_counter() - rank_t0
-                )
-                metrics.counter("stream.edges_written").inc(record.nnz)
-            if crash_hook is not None:
-                crash_hook(rank, completed)
-    except (StorageError, FatalRankError, RetryExhaustedError):
-        # Storage is unusable or a rank is unrecoverable: leave a clean
-        # partial manifest behind (status=failed) so the run can be
-        # diagnosed and resumed, then re-raise for the caller.
-        manifest.status = STATUS_FAILED
-        try:
-            commit()
-        except StorageError:  # pragma: no cover - disk truly gone
-            pass
-        raise
-
-    elapsed = time.perf_counter() - t0
-    total = manifest.total_nnz
-    if total != design.num_edges:
-        manifest.status = STATUS_FAILED
-        commit()
-        raise GenerationError(
-            f"streamed {total} edges; design predicts {design.num_edges}"
-        )
-    manifest.status = STATUS_COMPLETE
-    manifest_path = commit()
-    if metrics is not None:
-        metrics.gauge("stream.total_s").set(elapsed)
-    files = tuple(
-        str(directory / manifest.shards[r].filename) for r in range(n_ranks)
-    )
-    return StreamSummary(
-        n_ranks=n_ranks,
-        total_edges=total,
-        max_block_edges=max(s.nnz for s in manifest.shards.values()),
-        files=files,
-        elapsed_s=elapsed,
-        skipped_ranks=len(skipped),
-        manifest_path=str(manifest_path),
-    )
+    return result.sink_result
 
 
 # -- shard verification -------------------------------------------------------
@@ -526,21 +286,17 @@ def streamed_degree_distribution(
     memory_budget_entries: int = 50_000_000,
     memory_entries: int | None = None,
 ) -> DegreeDistribution:
-    """Measured degree distribution, one block in memory at a time."""
+    """Measured degree distribution, one budget-sized tile at a time."""
     memory_budget_entries = _resolve_memory_alias(
         memory_budget_entries, memory_entries
     )
-    chain = design.to_chain()
-    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_budget_entries)
-    plan: PartitionPlan = partition_bc(chain, cluster)
-    c = plan.c_chain.materialize()
-    accumulator = StreamingDegreeAccumulator(design.num_vertices)
-    for assignment in plan.assignments:
-        block = kron(assignment.b_local, c)
-        accumulator.add_block_rows(block.rows)
-    if design.loop_vertex is not None:
-        accumulator.remove_self_loop(design.loop_vertex)
-    return accumulator.distribution()
+    plan = plan_from_design(
+        design, n_ranks, memory_budget_entries=memory_budget_entries
+    )
+    result = engine_execute(
+        plan, DegreeSink(), scheduler=StaticScheduler(batch_size=1)
+    )
+    return result.sink_result.distribution()
 
 
 def validate_streamed(
@@ -560,16 +316,51 @@ def validate_streamed(
     return check_degree_distribution(measured, design.degree_distribution)
 
 
+#: Bytes per read in the chunked shard parser — large enough that numpy
+#: decoding dominates, small enough to stay out of the way of the one
+#: budget-sized-tile memory story.
+_READ_CHUNK_BYTES = 1 << 24
+
+
 def read_streamed_degree_distribution(
-    files: Sequence[str | Path], num_vertices: int
+    files: Sequence[str | Path],
+    num_vertices: int,
+    *,
+    chunk_bytes: int = _READ_CHUNK_BYTES,
 ) -> DegreeDistribution:
-    """Recompute the degree histogram from on-disk rank files, one file
-    in memory at a time (the downstream consumer's validation path)."""
+    """Recompute the degree histogram from on-disk rank files, one
+    chunk in memory at a time (the downstream consumer's validation
+    path).
+
+    Decoding is chunked and vectorized: each ~``chunk_bytes`` slab is
+    cut at its last newline and parsed in one ``np.fromstring`` call
+    (tab- and newline-separated int64s), then the row column is taken by
+    stride — about an order of magnitude faster than per-line ``int()``
+    (``tools/bench_smoke.py`` asserts a throughput floor).
+    """
     accumulator = StreamingDegreeAccumulator(num_vertices)
     for path in files:
-        chunk: List[int] = []
         with open(path, "r", encoding="ascii") as fh:
-            for line in fh:
-                chunk.append(int(line.split("\t", 1)[0]))
-        accumulator.add_block_rows(np.asarray(chunk, dtype=np.int64))
+            tail = ""
+            while True:
+                text = fh.read(chunk_bytes)
+                if not text:
+                    break
+                text = tail + text
+                cut = text.rfind("\n")
+                if cut < 0:
+                    tail = text
+                    continue
+                tail = text[cut + 1 :]
+                arr = np.fromstring(text[: cut + 1], dtype=np.int64, sep="\t")
+                if arr.size % 3:
+                    raise IOFormatError(
+                        f"{path}: malformed TSV shard (token count "
+                        f"{arr.size} is not a multiple of 3)"
+                    )
+                accumulator.add_block_rows(arr[0::3])
+            if tail.strip():
+                raise IOFormatError(
+                    f"{path}: trailing partial line {tail!r}"
+                )
     return accumulator.distribution()

@@ -27,6 +27,7 @@ from repro.runtime.checkpoint import (
     CrashInjector,
     RunManifest,
     ShardRecord,
+    ShardWriter,
     SimulatedCrash,
     atomic_write_bytes,
     atomic_write_text,
@@ -47,6 +48,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.metrics import (
     DEFAULT_BUCKETS,
+    MIN_ELAPSED_S,
     Counter,
     Gauge,
     Histogram,
@@ -69,6 +71,7 @@ __all__ = [
     "CrashInjector",
     "RunManifest",
     "ShardRecord",
+    "ShardWriter",
     "SimulatedCrash",
     "atomic_write_bytes",
     "atomic_write_text",
@@ -83,6 +86,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "MIN_ELAPSED_S",
     "write_snapshot",
     "Span",
     "Tracer",

@@ -128,6 +128,62 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     atomic_write_bytes(path, text.encode("ascii"))
 
 
+class ShardWriter:
+    """Incremental, atomic shard writer with a running checksum.
+
+    The streaming equivalent of :func:`atomic_write_bytes`: chunks are
+    appended with :meth:`write` (the SHA-256 digest is fed as bytes
+    arrive, so the checksum of the finished file never requires a
+    re-read), and :meth:`close` fsyncs and renames the temp file into
+    place.  Until ``close`` returns, ``path`` is either its previous
+    content or absent — never a torn shard.  The final checksum equals
+    :func:`payload_checksum` of the concatenated chunks, which is how
+    tiled writes stay manifest-compatible with whole-payload writes.
+
+    ``OSError``s propagate raw; callers classify them
+    (:func:`classify_storage_error`) with their own context.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
+        self.path = Path(path)
+        self._tmp = self.path.with_name(f".{self.path.name}.tmp.{os.getpid()}")
+        self._fsync = fsync
+        self._digest = hashlib.sha256()
+        self._size = 0
+        self._fh = open(self._tmp, "wb")
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes written so far."""
+        return self._size
+
+    def write(self, data: bytes) -> None:
+        """Append a chunk, updating the running digest."""
+        self._fh.write(data)
+        self._digest.update(data)
+        self._size += len(data)
+
+    def close(self) -> str:
+        """Flush, fsync, rename into place; return ``sha256:<hex>``."""
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        self._fh.close()
+        os.replace(self._tmp, self.path)
+        return "sha256:" + self._digest.hexdigest()
+
+    def discard(self) -> None:
+        """Abandon the write, removing the temp file (best effort)."""
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        try:
+            self._tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
 # -- quarantine ---------------------------------------------------------------
 def quarantine_shard(path: str | Path) -> Path:
     """Move a failed shard aside as ``<name>.corrupt`` and return the
@@ -406,6 +462,7 @@ __all__ = [
     "CrashInjector",
     "RunManifest",
     "ShardRecord",
+    "ShardWriter",
     "SimulatedCrash",
     "atomic_write_bytes",
     "atomic_write_text",

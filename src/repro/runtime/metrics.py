@@ -29,6 +29,12 @@ from typing import Dict, List, Mapping, Sequence
 
 from repro.errors import IOFormatError, ReproError
 
+#: Floor for elapsed-time divisors in rate computations.  Clock
+#: resolution can report 0.0 for very fast ranks; dividing by this
+#: instead keeps edges/s finite without visibly distorting real rates.
+#: Shared by the engine, generator, scaling, and simulate rate paths.
+MIN_ELAPSED_S = 1e-9
+
 #: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
 DEFAULT_BUCKETS: tuple = (
     0.001,

@@ -1,5 +1,7 @@
 """Backend-protocol conformance tests, parametrized over all backends."""
 
+import multiprocessing as mp
+
 import pytest
 
 from repro.errors import GenerationError
@@ -7,6 +9,7 @@ from repro.parallel import (
     MultiprocessingBackend,
     SerialBackend,
     ThreadBackend,
+    default_start_method,
     get_backend,
     list_backends,
     resolve_backend,
@@ -71,6 +74,26 @@ class TestRegistry:
     def test_resolve_rejects_non_backend(self):
         with pytest.raises(GenerationError):
             resolve_backend(42)
+
+
+class TestMultiprocessingStartMethod:
+    def test_default_method_is_available_on_platform(self):
+        assert default_start_method() in mp.get_all_start_methods()
+
+    def test_backend_defaults_to_platform_method(self):
+        assert MultiprocessingBackend().start_method == default_start_method()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(GenerationError, match="unknown multiprocessing start method"):
+            MultiprocessingBackend(start_method="teleport")
+
+    @pytest.mark.parametrize("method", ["fork", "spawn", "forkserver"])
+    def test_explicit_method_maps(self, method):
+        if method not in mp.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable on this platform")
+        backend = MultiprocessingBackend(processes=2, start_method=method)
+        assert backend.start_method == method
+        assert backend.map(_square, [3, 1, 2]) == [9, 1, 4]
 
 
 class TestThreadBackend:

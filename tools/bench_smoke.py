@@ -1,25 +1,34 @@
 #!/usr/bin/env python
 """Benchmark smoke target: ``python tools/bench_smoke.py``.
 
-Two cheap CI guards:
+Four cheap CI guards:
 
 1. the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot test
    only), asserting a machine-readable metrics JSON was produced — the
    perf trajectory stays observable;
 2. an interrupted-then-resumed streamed run, asserting the resumed
    shard directory is byte-identical to an uninterrupted one and passes
-   ``verify_shards`` — the durability path stays crash-safe.
+   ``verify_shards`` — the durability path stays crash-safe;
+3. a tiny ``--memory-budget`` streamed run, asserting the engine
+   actually tiled (``engine.tiles`` > rank count) AND that the tiled
+   output is byte-identical to the default-budget run — the
+   bounded-memory path stays exact;
+4. the chunked shard reader against a per-line reference, asserting
+   equality and a throughput floor — the fast path stays fast.
 
-The full benchmark suite is run separately.
+With ``--artifact-dir`` the tiled run's metrics snapshot is written
+there for CI to upload.  The full benchmark suite is run separately.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 
@@ -72,7 +81,140 @@ def smoke_interrupted_resume(root: Path) -> int:
     return 0
 
 
-def main() -> int:
+def smoke_tiled_budget(
+    root: Path, memory_budget: int | None, artifact_dir: Path | None
+) -> int:
+    """Run the streamed generator under a tiny tile budget and require
+    (a) real tiling happened, (b) byte-identity with the default run."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.design import PowerLawDesign
+    from repro.runtime import MetricsRegistry
+
+    from repro.parallel import generate_to_disk
+
+    design = PowerLawDesign([3, 4, 5], "center")
+    n_ranks = 5
+    if memory_budget is None:
+        # 63 is the smallest budget at which both split halves of this
+        # design's factor nnzs [7, 9, 11] still fit.
+        memory_budget = 63
+    metrics = MetricsRegistry()
+    with tempfile.TemporaryDirectory(prefix="repro-tile-smoke-") as tmp:
+        default_dir, tiny_dir = Path(tmp) / "default", Path(tmp) / "tiny"
+        generate_to_disk(design, n_ranks, default_dir)
+        generate_to_disk(
+            design,
+            n_ranks,
+            tiny_dir,
+            memory_budget_entries=memory_budget,
+            metrics=metrics,
+        )
+        snapshot = metrics.snapshot()
+        tiles = snapshot["counters"].get("engine.tiles", 0)
+        if tiles <= n_ranks:
+            print(
+                f"bench-smoke: budget {memory_budget} produced only {tiles} "
+                f"tiles over {n_ranks} ranks — tiling did not engage",
+                file=sys.stderr,
+            )
+            return 1
+        for path in sorted(default_dir.iterdir()):
+            if (tiny_dir / path.name).read_bytes() != path.read_bytes():
+                print(
+                    f"bench-smoke: {path.name} differs under tile budget "
+                    f"{memory_budget}",
+                    file=sys.stderr,
+                )
+                return 1
+    snapshot["run"] = {
+        "command": "bench-smoke tiled-budget",
+        "memory_budget_entries": memory_budget,
+        "ranks": n_ranks,
+        "tiles": tiles,
+        "peak_tile_entries": snapshot["gauges"].get("engine.peak_tile_entries"),
+    }
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        out = artifact_dir / "tiled_budget_metrics.json"
+        out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"bench-smoke: wrote tiled-run metrics to {out}", file=sys.stderr)
+    print(
+        f"bench-smoke: OK — budget {memory_budget} cut {tiles:.0f} tiles "
+        f"(peak {snapshot['run']['peak_tile_entries']:.0f} entries), "
+        "output byte-identical to default budget",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def smoke_degree_reader(root: Path) -> int:
+    """Equality + throughput floor for the chunked shard reader."""
+    sys.path.insert(0, str(root / "src"))
+    import numpy as np
+
+    from repro.parallel import read_streamed_degree_distribution
+    from repro.parallel.stream import StreamingDegreeAccumulator
+
+    num_vertices = 10_000
+    lines = 150_000
+    rng = np.random.default_rng(12345)
+    rows = rng.integers(0, num_vertices, size=lines)
+    cols = rng.integers(0, num_vertices, size=lines)
+    with tempfile.TemporaryDirectory(prefix="repro-reader-smoke-") as tmp:
+        path = Path(tmp) / "edges.0.tsv"
+        with open(path, "w", encoding="ascii") as fh:
+            fh.writelines(f"{r}\t{c}\t1\n" for r, c in zip(rows, cols))
+        # Per-line reference (the pre-optimization algorithm).
+        reference = StreamingDegreeAccumulator(num_vertices)
+        with open(path, "r", encoding="ascii") as fh:
+            for line in fh:
+                reference.add_block_rows(np.array([int(line.split("\t", 1)[0])]))
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            fast = read_streamed_degree_distribution([path], num_vertices)
+            best = min(best, time.perf_counter() - t0)
+        if fast != reference.distribution():
+            print(
+                "bench-smoke: chunked reader disagrees with per-line reference",
+                file=sys.stderr,
+            )
+            return 1
+        rate = lines / best
+        floor = 200_000.0
+        if rate < floor:
+            print(
+                f"bench-smoke: chunked reader at {rate:,.0f} lines/s, "
+                f"below the {floor:,.0f} floor",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        f"bench-smoke: OK — chunked reader exact at {rate:,.0f} lines/s "
+        f"(floor {200_000:,})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="ENTRIES",
+        help="tile budget for the tiled-run guard (default: the smallest "
+        "feasible budget for the smoke design)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory to write metrics snapshots for CI upload",
+    )
+    args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
     with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-") as out_dir:
         env = dict(os.environ)
@@ -113,7 +255,20 @@ def main() -> int:
             f"rate {snapshot['run']['edges_per_second']:.3e} edges/s",
             file=sys.stderr,
         )
-    return smoke_interrupted_resume(root)
+        if args.artifact_dir is not None:
+            args.artifact_dir.mkdir(parents=True, exist_ok=True)
+            (args.artifact_dir / "fig3_metrics.json").write_bytes(
+                snapshot_path.read_bytes()
+            )
+    for guard in (
+        lambda: smoke_interrupted_resume(root),
+        lambda: smoke_tiled_budget(root, args.memory_budget, args.artifact_dir),
+        lambda: smoke_degree_reader(root),
+    ):
+        code = guard()
+        if code != 0:
+            return code
+    return 0
 
 
 if __name__ == "__main__":
