@@ -50,6 +50,14 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         help="execution backend for rank work",
     )
     p.add_argument(
+        "--scheduler",
+        choices=["static", "queue"],
+        default="static",
+        help="task dispatch: 'static' batches in rank order with a "
+        "barrier; 'queue' streams tasks longest-first to whichever "
+        "worker frees up (output is byte-identical either way)",
+    )
+    p.add_argument(
         "--max-retries",
         type=int,
         default=0,
@@ -77,6 +85,16 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         help="per-rank memory budget in matrix entries; blocks larger than "
         "this are generated in bounded-memory tiles",
     )
+
+
+def _resolve_scheduler(args: argparse.Namespace):
+    """``--scheduler`` → a scheduler instance, or None for the command's
+    default static shape."""
+    if getattr(args, "scheduler", "static") == "queue":
+        from repro.engine import WorkQueueScheduler
+
+        return WorkQueueScheduler()
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -229,6 +247,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         design.to_chain(),
         cluster,
         backend=args.backend,
+        scheduler=_resolve_scheduler(args),
         max_retries=args.max_retries,
         rank_timeout_s=args.rank_timeout,
         metrics=metrics,
@@ -276,6 +295,7 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
         resume=args.resume,
         scramble_seed=args.scramble_seed,
         backend=args.backend,
+        scheduler=_resolve_scheduler(args),
         max_retries=args.max_retries,
         metrics=metrics,
     )
@@ -308,7 +328,11 @@ def _cmd_generate_degrees(args: argparse.Namespace, design: PowerLawDesign) -> i
     from repro.validate import check_degree_distribution
 
     measured = streamed_degree_distribution(
-        design, args.ranks, memory_budget_entries=args.memory_budget
+        design,
+        args.ranks,
+        memory_budget_entries=args.memory_budget,
+        backend=args.backend,
+        scheduler=_resolve_scheduler(args),
     )
     check = check_degree_distribution(measured, design.degree_distribution)
     print(
@@ -349,6 +373,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
         args.ranks,
         memory_budget_entries=args.memory_budget,
         backend=args.backend,
+        scheduler=_resolve_scheduler(args),
         max_retries=args.max_retries,
         rank_timeout_s=args.rank_timeout,
         metrics=metrics,

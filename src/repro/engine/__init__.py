@@ -9,7 +9,9 @@ they now share:
   per-rank tasks with exact size predictions, run fingerprint,
   generation-time transforms, and the memory budget;
 * :mod:`repro.engine.scheduler` — :class:`StaticScheduler`: deterministic
-  rank-order batching (whole-run, per-rank, or budget-packed);
+  rank-order batching (whole-run, per-rank, or budget-packed); and
+  :class:`WorkQueueScheduler`: completion-driven LPT work queue
+  (no barriers, rank-order commit via the engine's reorder buffer);
 * :mod:`repro.engine.execute` — :func:`execute`: the one loop, running
   tiled kernels (:func:`repro.kron.kron_tiles`) through the
   :class:`~repro.runtime.RankExecutor` into a sink;
@@ -38,7 +40,7 @@ from repro.engine.plan import (
     plan_from_design,
     plan_from_partition,
 )
-from repro.engine.scheduler import StaticScheduler
+from repro.engine.scheduler import StaticScheduler, WorkQueueScheduler
 from repro.engine.sinks import (
     AssemblyResult,
     AssemblySink,
@@ -58,6 +60,7 @@ __all__ = [
     "plan_from_design",
     "plan_from_partition",
     "StaticScheduler",
+    "WorkQueueScheduler",
     "Sink",
     "AssemblySink",
     "AssemblyResult",

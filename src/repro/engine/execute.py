@@ -10,8 +10,24 @@ of ``nnz(Bp) · nnz(C)``.
 
 :func:`execute` drives the whole run through the
 :class:`~repro.runtime.RankExecutor` (retry/backoff/timeout/straggler
-accounting come for free), committing each task's outcome to the sink
-in rank order.  Fatal failures (``StorageError``, ``FatalRankError``,
+accounting come for free) on one of two paths, chosen by the scheduler:
+
+* **batch-synchronous** (default, :class:`StaticScheduler`): each batch
+  is one ``executor.run`` call with a barrier after it, outcomes commit
+  in batch (= ascending rank) order;
+* **completion-driven** (any scheduler with ``streaming = True``, i.e.
+  :class:`~repro.engine.scheduler.WorkQueueScheduler`): tasks stream
+  through ``executor.run_iter`` in the scheduler's submission order and
+  land in whatever order workers finish; a **reorder buffer** holds
+  completed-but-not-yet-committable outcomes so ``sink.commit`` still
+  happens in ascending rank order — shard bytes, ``manifest.json``, and
+  resume behavior are byte-identical to the static path.  The buffer is
+  bounded by the plan's ``memory_budget_entries``: when buffered
+  estimated entries exceed it, submission pauses (backpressure) except
+  for the commit-pointer task itself, which is always eligible so the
+  buffer can drain and the run cannot deadlock.
+
+Fatal failures (``StorageError``, ``FatalRankError``,
 ``RetryExhaustedError``) abort the sink — which leaves a resumable
 ``failed`` manifest when the sink is a
 :class:`~repro.engine.sinks.ShardSink` — then re-raise.  A
@@ -21,7 +37,10 @@ deliberately sails past this handling, exactly as a real SIGKILL would.
 Metrics: ``engine.tasks`` (executed, excluding skipped),
 ``engine.tiles`` (total tiles across all ranks — how often the kernel
 had to cut), ``engine.peak_tile_entries`` (the realized memory
-high-water mark, to compare against the budget).
+high-water mark, reset at the start of every run), ``engine.queue_depth``
+(peak in-flight tasks, streaming path), ``engine.worker_utilization``
+(busy worker-seconds over ``workers × wall``), and
+``engine.straggler_gap_s`` (slowest final attempt minus the median).
 
 NOTE Imports from ``repro.parallel`` are function-local only — see
 :mod:`repro.engine.plan` on the import cycle.
@@ -29,18 +48,24 @@ NOTE Imports from ``repro.parallel`` are function-local only — see
 
 from __future__ import annotations
 
+import statistics
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
-from repro.engine.plan import GenerationPlan
+from repro.engine.plan import GenerationPlan, RankTask
 from repro.engine.scheduler import StaticScheduler
 from repro.engine.sinks import Sink
-from repro.errors import FatalRankError, RetryExhaustedError, StorageError
+from repro.errors import (
+    FatalRankError,
+    GenerationError,
+    RetryExhaustedError,
+    StorageError,
+)
 from repro.kron.tiles import kron_tiles
 from repro.runtime.events import RankEvents
-from repro.runtime.executor import ExecutionResult, RankExecutor
+from repro.runtime.executor import ExecutionResult, RankExecutor, RankReport
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.tracing import Tracer
 
@@ -66,15 +91,26 @@ class _RankWork:
 @dataclass(frozen=True)
 class _RankMappedInjector:
     """Adapts the executor's ``(item_index, attempt)`` callback to the
-    ``(rank, attempt)`` contract.  Module-level and frozen so it pickles
-    across the multiprocessing boundary (the wrapped injector must be
-    picklable itself, as before the engine refactor)."""
+    ``(rank, attempt)`` contract.
 
-    ranks: Tuple[int, ...]
+    The mapping is explicit ``(index, rank)`` pairs — task identity, not
+    batch-local position — so the streaming path can never misattribute
+    an injected failure when submission order ≠ rank order.  Frozen and
+    module-level so it pickles across the multiprocessing boundary (the
+    wrapped injector must be picklable itself, as before)."""
+
+    rank_by_index: Tuple[Tuple[int, int], ...]
     injector: Callable[[int, int], None]
 
     def __call__(self, index: int, attempt: int) -> None:
-        self.injector(self.ranks[index], attempt)
+        for idx, rank in self.rank_by_index:
+            if idx == index:
+                self.injector(rank, attempt)
+                return
+        raise GenerationError(
+            f"failure injector saw unknown task index {index}; known "
+            f"indices {[i for i, _ in self.rank_by_index]}"
+        )
 
 
 @dataclass(frozen=True)
@@ -189,10 +225,13 @@ def execute(
 
     ``executor`` overrides the backend/retry/timeout arguments when
     given; ``scheduler`` defaults to a single all-task batch
-    (:class:`~repro.engine.scheduler.StaticScheduler`).
-    ``failure_injector`` is called as ``injector(rank, attempt)`` inside
-    the worker, before the kernel — the adversary hook the failure
-    tests drive.
+    (:class:`~repro.engine.scheduler.StaticScheduler`).  A scheduler
+    carrying ``streaming = True`` (e.g.
+    :class:`~repro.engine.scheduler.WorkQueueScheduler`) switches to the
+    completion-driven path; commit order — and therefore all sink output
+    — is identical either way.  ``failure_injector`` is called as
+    ``injector(rank, attempt)`` inside the worker, before the kernel —
+    the adversary hook the failure tests drive.
     """
     if executor is None:
         from repro.parallel.backends import resolve_backend
@@ -207,63 +246,155 @@ def execute(
         )
     if scheduler is None:
         scheduler = StaticScheduler()
+    if metrics is not None:
+        # Gauges persist across runs on a reused registry; a small
+        # second run must not report the first run's peak/depth.
+        metrics.gauge("engine.peak_tile_entries").set(0)
+        metrics.gauge("engine.queue_depth").set(0)
+    streaming = bool(getattr(scheduler, "streaming", False))
     skipped = tuple(sorted(sink.open(plan, metrics=metrics)))
     t0 = time.perf_counter()
     skip_set = set(skipped)
     pending = [t for t in plan.tasks if t.rank not in skip_set]
-    batches = scheduler.schedule(
-        pending, memory_budget_entries=plan.memory_budget_entries
-    )
     if metrics is not None:
         metrics.counter("engine.tasks").inc(len(pending))
     executions: List[ExecutionResult] = []
     stats: List[TaskStats] = []
     peak = 0
+    queue_depth_peak = 0
+
+    def make_work(t: RankTask) -> _RankWork:
+        return _RankWork(
+            rank=t.rank,
+            b_local=t.assignment.b_local,
+            col_base=t.assignment.col_base,
+            c=plan.c_matrix,
+            loop_vertex=plan.loop_vertex,
+            scramble=plan.scramble,
+            max_tile_entries=plan.memory_budget_entries,
+            consumer_factory=sink.consumer_factory(t),
+        )
+
+    def commit(task: RankTask, outcome: TaskOutcome) -> None:
+        nonlocal peak
+        sink.commit(task, outcome)
+        stats.append(
+            TaskStats(
+                rank=outcome.rank,
+                nnz=outcome.nnz,
+                tiles=outcome.tiles,
+                peak_tile_entries=outcome.peak_tile_entries,
+                elapsed_s=outcome.elapsed_s,
+            )
+        )
+        if metrics is not None:
+            metrics.counter("engine.tiles").inc(outcome.tiles)
+            if outcome.peak_tile_entries > peak:
+                peak = outcome.peak_tile_entries
+                metrics.gauge("engine.peak_tile_entries").set(peak)
+
     try:
-        for batch in batches:
-            ranks = tuple(t.rank for t in batch)
+        if streaming:
+            order = scheduler.order(
+                pending, memory_budget_entries=plan.memory_budget_entries
+            )
+            work = [make_work(t) for t in order]
             injector = (
                 None
                 if failure_injector is None
-                else _RankMappedInjector(ranks, failure_injector)
-            )
-            work = [
-                _RankWork(
-                    rank=t.rank,
-                    b_local=t.assignment.b_local,
-                    col_base=t.assignment.col_base,
-                    c=plan.c_matrix,
-                    loop_vertex=plan.loop_vertex,
-                    scramble=plan.scramble,
-                    max_tile_entries=plan.memory_budget_entries,
-                    consumer_factory=sink.consumer_factory(t),
+                else _RankMappedInjector(
+                    tuple((i, t.rank) for i, t in enumerate(order)),
+                    failure_injector,
                 )
-                for t in batch
-            ]
+            )
+            # Commit pointer: item indices in ascending-rank order; the
+            # reorder buffer drains along this sequence.
+            commit_seq = sorted(
+                range(len(order)), key=lambda i: order[i].rank
+            )
+            buffered: Dict[int, TaskOutcome] = {}
+            buffered_entries = 0
+            pos = 0
+            budget = plan.memory_budget_entries
+
+            def submit_hook(
+                unsubmitted: Tuple[int, ...]
+            ) -> Optional[int]:
+                # Backpressure: once buffered-but-uncommittable outcomes
+                # exceed the budget, only the commit-pointer task may
+                # still be submitted — it is what the buffer is waiting
+                # on, so refusing it would deadlock while admitting it
+                # drains the buffer.
+                if budget is None or buffered_entries <= budget:
+                    return unsubmitted[0]
+                head = commit_seq[pos]
+                if head in unsubmitted:
+                    return head
+                return None
+
+            max_in_flight = getattr(scheduler, "max_in_flight", None)
+            if max_in_flight is None:
+                from repro.parallel.backends import backend_worker_count
+
+                max_in_flight = backend_worker_count(executor.backend)
+            results_by_index: Dict[int, TaskOutcome] = {}
+            reports_by_index: Dict[int, RankReport] = {}
             span_cm = (
-                tracer.span("engine.batch", ranks=len(batch))
+                tracer.span("engine.stream", ranks=len(order))
                 if tracer is not None
                 else nullcontext()
             )
             with span_cm:
-                execution = executor.run(_run_rank_task, work, injector=injector)
-            executions.append(execution)
-            for task, outcome in zip(batch, execution.results):
-                sink.commit(task, outcome)
-                stats.append(
-                    TaskStats(
-                        rank=outcome.rank,
-                        nnz=outcome.nnz,
-                        tiles=outcome.tiles,
-                        peak_tile_entries=outcome.peak_tile_entries,
-                        elapsed_s=outcome.elapsed_s,
+                for done in executor.run_iter(
+                    _run_rank_task,
+                    work,
+                    injector=injector,
+                    max_in_flight=max_in_flight,
+                    submit_hook=submit_hook,
+                ):
+                    queue_depth_peak = max(queue_depth_peak, done.in_flight)
+                    results_by_index[done.index] = done.value
+                    reports_by_index[done.index] = done.report
+                    buffered[done.index] = done.value
+                    buffered_entries += order[done.index].estimated_entries
+                    while pos < len(commit_seq) and commit_seq[pos] in buffered:
+                        i = commit_seq[pos]
+                        outcome = buffered.pop(i)
+                        buffered_entries -= order[i].estimated_entries
+                        commit(order[i], outcome)
+                        pos += 1
+            executions.append(
+                ExecutionResult(
+                    results=[results_by_index[i] for i in range(len(order))],
+                    reports=[reports_by_index[i] for i in range(len(order))],
+                )
+            )
+        else:
+            batches = scheduler.schedule(
+                pending, memory_budget_entries=plan.memory_budget_entries
+            )
+            for batch in batches:
+                injector = (
+                    None
+                    if failure_injector is None
+                    else _RankMappedInjector(
+                        tuple((i, t.rank) for i, t in enumerate(batch)),
+                        failure_injector,
                     )
                 )
-                if metrics is not None:
-                    metrics.counter("engine.tiles").inc(outcome.tiles)
-                    if outcome.peak_tile_entries > peak:
-                        peak = outcome.peak_tile_entries
-                        metrics.gauge("engine.peak_tile_entries").set(peak)
+                work = [make_work(t) for t in batch]
+                span_cm = (
+                    tracer.span("engine.batch", ranks=len(batch))
+                    if tracer is not None
+                    else nullcontext()
+                )
+                with span_cm:
+                    execution = executor.run(
+                        _run_rank_task, work, injector=injector
+                    )
+                executions.append(execution)
+                for task, outcome in zip(batch, execution.results):
+                    commit(task, outcome)
     except (StorageError, FatalRankError, RetryExhaustedError) as exc:
         # Storage is unusable or a rank is unrecoverable: let the sink
         # leave clean state behind (ShardSink commits a `failed`
@@ -272,6 +403,34 @@ def execute(
         sink.abort(exc)
         raise
     elapsed = time.perf_counter() - t0
+    if metrics is not None:
+        if streaming:
+            metrics.gauge("engine.queue_depth").set(queue_depth_peak)
+        from repro.parallel.backends import backend_worker_count
+
+        workers = backend_worker_count(executor.backend)
+        # Busy time counts every attempt (retries included): it is what
+        # the workers actually did with the wall-clock they had.
+        busy = sum(
+            a.elapsed_s
+            for ex in executions
+            for r in ex.reports
+            for a in r.attempts
+        )
+        if elapsed > 0:
+            metrics.gauge("engine.worker_utilization").set(
+                min(1.0, busy / (workers * elapsed))
+            )
+        finals = [
+            r.elapsed_s
+            for ex in executions
+            for r in ex.reports
+            if r.attempts and r.attempts[-1].ok
+        ]
+        if len(finals) >= 2:
+            metrics.gauge("engine.straggler_gap_s").set(
+                max(0.0, max(finals) - statistics.median(finals))
+            )
     stats.sort(key=lambda s: s.rank)
     sink_result = sink.finalize(plan, elapsed_s=elapsed, skipped=skipped)
     return EngineResult(

@@ -17,21 +17,50 @@ shapes:
   entries stay within ``memory_budget_entries`` (an oversized single
   task forms its own batch and is tiled inside the kernel instead).
 
-The interface is a single method, so a work-stealing or
-locality-aware scheduler (see ROADMAP open items) plugs in without
-touching the engine loop: anything with
-``schedule(tasks, memory_budget_entries=...) -> [batch, ...]`` works.
-Determinism contract: batches must preserve ascending rank order —
-sink commit order and manifest write order follow it.
+:class:`WorkQueueScheduler` is the completion-driven alternative: it
+declares ``streaming = True`` and, instead of batches with barriers,
+gives the engine a *submission order* (longest estimated task first —
+LPT) via :meth:`~WorkQueueScheduler.order`; tasks are then handed to
+whichever worker frees up, and the engine's reorder buffer restores
+ascending-rank commit order.  ``schedule()`` still works (singleton
+batches in LPT order) so the class satisfies the same protocol.
+
+The interface is a single method, so a locality-aware scheduler
+plugs in without touching the engine loop: anything with
+``schedule(tasks, memory_budget_entries=...) -> [batch, ...]`` works,
+and anything additionally carrying ``streaming = True`` plus
+``order(tasks, memory_budget_entries=...)`` runs on the work-queue path.
+Determinism contract: *commits* happen in ascending rank order under
+every scheduler — sink commit order and manifest write order follow it
+regardless of execution order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import ClassVar, List, Optional, Sequence, Tuple
 
 from repro.engine.plan import RankTask
 from repro.errors import GenerationError
+
+
+def _require_unique_ranks(tasks: Sequence[RankTask]) -> None:
+    """Reject task lists with duplicate ranks.
+
+    A duplicate rank would make two tasks race for one shard filename
+    and one manifest slot — caught here, at scheduling time, for both
+    scheduler families.
+    """
+    seen = set()
+    dupes = set()
+    for task in tasks:
+        if task.rank in seen:
+            dupes.add(task.rank)
+        seen.add(task.rank)
+    if dupes:
+        raise GenerationError(
+            f"duplicate rank(s) in task list: {sorted(dupes)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +92,7 @@ class StaticScheduler:
         *,
         memory_budget_entries: Optional[int] = None,
     ) -> List[Tuple[RankTask, ...]]:
+        _require_unique_ranks(tasks)
         ordered = sorted(tasks, key=lambda t: t.rank)
         if not ordered:
             return []
@@ -95,3 +125,65 @@ class StaticScheduler:
         if current:
             batches.append(tuple(current))
         return batches
+
+
+@dataclass(frozen=True)
+class WorkQueueScheduler:
+    """Completion-driven scheduling: LPT order, no barriers.
+
+    Tasks are submitted longest-estimated-first (LPT — the classic
+    greedy bound for minimizing makespan on identical machines, within
+    4/3 of optimal) and each is handed to whichever worker frees up
+    first, so one straggling rank no longer idles the rest of the pool.
+    Output stays byte-identical to :class:`StaticScheduler` because the
+    engine commits completions through a reorder buffer in ascending
+    rank order.
+
+    ``max_in_flight`` caps concurrent submissions; ``None`` lets the
+    engine size the window from the backend's worker count.
+    """
+
+    #: Marks this scheduler for the engine's completion-driven path.
+    streaming: ClassVar[bool] = True
+
+    max_in_flight: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise GenerationError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+
+    def order(
+        self,
+        tasks: Sequence[RankTask],
+        *,
+        memory_budget_entries: Optional[int] = None,
+    ) -> List[RankTask]:
+        """Submission order: estimated entries descending, rank ascending.
+
+        ``memory_budget_entries`` is accepted for protocol symmetry with
+        ``schedule`` — backpressure against the budget is applied by the
+        engine (it knows what is buffered), not by the ordering.
+        """
+        _require_unique_ranks(tasks)
+        return sorted(tasks, key=lambda t: (-t.estimated_entries, t.rank))
+
+    def schedule(
+        self,
+        tasks: Sequence[RankTask],
+        *,
+        memory_budget_entries: Optional[int] = None,
+    ) -> List[Tuple[RankTask, ...]]:
+        """Protocol-compat view: singleton batches in submission order.
+
+        A driver that only understands batches still runs the right
+        order (just with a barrier per task); the engine itself uses
+        :meth:`order` and never calls this.
+        """
+        return [
+            (task,)
+            for task in self.order(
+                tasks, memory_budget_entries=memory_budget_entries
+            )
+        ]

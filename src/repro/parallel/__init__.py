@@ -28,6 +28,7 @@ from repro.parallel.backends import (
     MultiprocessingBackend,
     SerialBackend,
     ThreadBackend,
+    backend_worker_count,
     default_start_method,
     get_backend,
     list_backends,
@@ -73,6 +74,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "MultiprocessingBackend",
+    "backend_worker_count",
     "default_start_method",
     "get_backend",
     "list_backends",

@@ -2,7 +2,13 @@
 
 A backend maps a per-rank work function over rank inputs; the formal
 contract is :class:`repro.typing.Backend` (``name`` + ``map(fn, items)``
-plus an optional ``shutdown()``).  Three implementations ship:
+plus an optional ``shutdown()``).  All three shipped backends also
+satisfy :class:`repro.typing.StreamingBackend` — ``submit(fn, item)``
+returning a handle plus ``as_completed(handles)`` yielding handles in
+completion order — which is what the engine's completion-driven
+work-queue path runs on.  ``map`` is *derived* from ``submit`` where
+that costs nothing (serial, thread), so the two surfaces can never
+disagree.  Three implementations ship:
 
 * :class:`SerialBackend` — ranks one after another in-process
   (deterministic, zero overhead — the default for validation);
@@ -21,10 +27,10 @@ Backends are registered by name; :func:`get_backend` is what the CLI's
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Sequence, TypeVar, Union
+from typing import Callable, Dict, Iterator, List, Sequence, TypeVar, Union
 
 from repro.errors import GenerationError
-from repro.typing import Backend
+from repro.typing import Backend, WorkHandle
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -34,13 +40,74 @@ R = TypeVar("R")
 BackendLike = Union[str, Backend, None]
 
 
+def backend_worker_count(backend: Backend) -> int:
+    """How many units of work ``backend`` can genuinely overlap.
+
+    Reads the conventional sizing attributes (``max_workers`` for pools,
+    ``processes`` for multiprocessing); a backend exposing neither is
+    treated as serial.  The engine uses this to size its in-flight
+    window and to normalize ``engine.worker_utilization``.
+    """
+    for attr in ("max_workers", "processes"):
+        value = getattr(backend, attr, None)
+        if isinstance(value, int) and value > 0:
+            return value
+    return 1
+
+
+class _ImmediateHandle:
+    """Handle for work executed eagerly at submit time (serial path).
+
+    A map-only or serial backend has no worker to defer to, so
+    ``submit`` runs the item in the caller and the handle just replays
+    the captured value or exception.
+    """
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, fn: Callable[[T], R], item: T) -> None:
+        self._value: object = None
+        self._error: BaseException | None = None
+        try:
+            self._value = fn(item)
+        except BaseException as exc:  # replayed by result(), not swallowed
+            self._error = exc
+
+    def result(self) -> object:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+def _futures_as_completed(handles: Sequence[WorkHandle]) -> Iterator[WorkHandle]:
+    """Completion-order iteration for ``concurrent.futures`` handles."""
+    from concurrent.futures import as_completed
+
+    return as_completed(handles)
+
+
 class SerialBackend:
-    """Run every rank's work in the calling process, in rank order."""
+    """Run every rank's work in the calling process, in rank order.
+
+    ``submit`` executes eagerly (there is no worker to hand off to), so
+    ``as_completed`` order equals submission order — which is what makes
+    the serial backend the deterministic reference for the streaming
+    execution path too.
+    """
 
     name = "serial"
 
+    def submit(self, fn: Callable[[T], R], item: T) -> _ImmediateHandle:
+        return _ImmediateHandle(fn, item)
+
+    def as_completed(
+        self, handles: Sequence[WorkHandle]
+    ) -> Iterator[WorkHandle]:
+        return iter(handles)
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        return [fn(item) for item in items]
+        # Derived from submit: the two surfaces cannot diverge.
+        return [self.submit(fn, item).result() for item in items]
 
 
 class ThreadBackend:
@@ -48,9 +115,10 @@ class ThreadBackend:
 
     Threads share the interpreter, so ``fn`` needs no pickling; the
     Kronecker kernel spends its time in NumPy (GIL released), so threads
-    genuinely overlap.  A fresh pool is created per ``map`` call unless
-    the backend is reused, in which case the pool persists until
-    ``shutdown()``.
+    genuinely overlap.  The pool is created lazily on first use and
+    persists until ``shutdown()``; ``submit`` hands work to it directly,
+    so ``as_completed`` yields in true completion order — the overlap
+    the engine's work-queue scheduler exploits.
     """
 
     name = "thread"
@@ -66,12 +134,19 @@ class ThreadBackend:
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
+    def submit(self, fn: Callable[[T], R], item: T) -> WorkHandle:
+        return self._ensure_pool().submit(fn, item)
+
+    def as_completed(
+        self, handles: Sequence[WorkHandle]
+    ) -> Iterator[WorkHandle]:
+        return _futures_as_completed(handles)
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        items = list(items)
-        if not items:
-            return []
-        pool = self._ensure_pool()
-        return list(pool.map(fn, items))
+        # Derived from submit (submit everything, collect in order) so
+        # the two surfaces share one pool and cannot diverge.
+        handles = [self.submit(fn, item) for item in items]
+        return [h.result() for h in handles]
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -98,6 +173,12 @@ class MultiprocessingBackend:
     module-level function for exactly this reason).  ``start_method``
     defaults to :func:`default_start_method` — ``fork`` where available,
     falling back to ``spawn`` on platforms without it.
+
+    ``map`` keeps its historical pool-per-call shape (sized to the work
+    list, torn down afterwards — no pool ever leaks); ``submit`` /
+    ``as_completed`` need workers that outlive a single call, so they
+    lazily start a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+    that is released by ``shutdown()``.
     """
 
     name = "multiprocessing"
@@ -118,6 +199,26 @@ class MultiprocessingBackend:
                 f"this platform offers {mp.get_all_start_methods()}"
             )
         self.start_method = start_method
+        self._executor = None
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.processes,
+                mp_context=mp.get_context(self.start_method),
+            )
+        return self._executor
+
+    def submit(self, fn: Callable[[T], R], item: T) -> WorkHandle:
+        return self._ensure_executor().submit(fn, item)
+
+    def as_completed(
+        self, handles: Sequence[WorkHandle]
+    ) -> Iterator[WorkHandle]:
+        return _futures_as_completed(handles)
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         import multiprocessing as mp
@@ -132,6 +233,11 @@ class MultiprocessingBackend:
                 return pool.map(fn, items)
         except (OSError, ValueError) as exc:  # pragma: no cover - env specific
             raise GenerationError(f"multiprocessing backend failed: {exc}") from exc
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
 
 _BACKENDS: Dict[str, Callable[[], Backend]] = {

@@ -92,6 +92,12 @@ class ParallelKroneckerGenerator:
     executor:
         A fully custom :class:`~repro.runtime.RankExecutor`; overrides
         every executor-related argument above.
+    scheduler:
+        How ranks are ordered and dispatched; ``None`` keeps the
+        historical single all-rank batch
+        (:class:`~repro.engine.scheduler.StaticScheduler`), a
+        :class:`~repro.engine.scheduler.WorkQueueScheduler` streams
+        ranks to whichever worker frees up (output identical).
     """
 
     def __init__(
@@ -107,11 +113,13 @@ class ParallelKroneckerGenerator:
         tracer: Tracer | None = None,
         events: RankEvents | None = None,
         executor: RankExecutor | None = None,
+        scheduler=None,
         failure_injector: Callable[[int, int], None] | None = None,
     ) -> None:
         self.chain = chain
         self.cluster = cluster
         self.backend = resolve_backend(backend)
+        self.scheduler = scheduler
         self.plan: PartitionPlan = partition_bc(chain, cluster, split_index=split_index)
         self._c_matrix = self.plan.c_chain.materialize()
         self.metrics = metrics
@@ -158,7 +166,7 @@ class ParallelKroneckerGenerator:
             plan,
             AssemblySink(),
             executor=self.executor,
-            scheduler=StaticScheduler(),
+            scheduler=self.scheduler or StaticScheduler(),
             metrics=self.metrics,
             failure_injector=self.failure_injector,
         )
@@ -252,6 +260,7 @@ def generate_design_parallel(
     rank_timeout_s: float | None = None,
     metrics: MetricsRegistry | None = None,
     events: RankEvents | None = None,
+    scheduler=None,
     checkpoint_dir: "str | None" = None,
     resume: bool = False,
     memory_entries: int | None = None,
@@ -288,6 +297,7 @@ def generate_design_parallel(
             memory_budget_entries=memory_budget_entries,
             resume=resume,
             backend=backend,
+            scheduler=scheduler,
             max_retries=max_retries,
             metrics=metrics,
         )
@@ -305,6 +315,7 @@ def generate_design_parallel(
         rank_timeout_s=rank_timeout_s,
         metrics=metrics,
         events=events,
+        scheduler=scheduler,
     )
     loop_vertex = design.loop_vertex if design.self_loop is not SelfLoop.NONE else None
     return gen.generate_graph(remove_loop_at=loop_vertex)

@@ -90,6 +90,7 @@ def measure_rank_rate(
     cluster: VirtualCluster,
     *,
     backend: BackendLike = None,
+    scheduler=None,
     max_retries: int = 0,
     rank_timeout_s: float | None = None,
     metrics: MetricsRegistry | None = None,
@@ -99,6 +100,7 @@ def measure_rank_rate(
         chain,
         cluster,
         backend=backend,
+        scheduler=scheduler,
         max_retries=max_retries,
         rank_timeout_s=rank_timeout_s,
         metrics=metrics,
@@ -122,6 +124,7 @@ def run_scaling_study(
     *,
     memory_budget_entries: int = 50_000_000,
     backend: BackendLike = None,
+    scheduler=None,
     max_retries: int = 0,
     rank_timeout_s: float | None = None,
     metrics: MetricsRegistry | None = None,
@@ -149,6 +152,7 @@ def run_scaling_study(
                 chain,
                 cluster,
                 backend=backend,
+                scheduler=scheduler,
                 max_retries=max_retries,
                 rank_timeout_s=rank_timeout_s,
                 metrics=metrics,

@@ -92,6 +92,7 @@ def generate_to_disk(
     scramble_seed: int | None = None,
     resume: bool = False,
     backend: BackendLike = None,
+    scheduler=None,
     max_retries: int = 0,
     failure_injector: Callable[[int, int], None] | None = None,
     crash_hook: Callable[[int, int], None] | None = None,
@@ -125,6 +126,13 @@ def generate_to_disk(
         Per-rank work runs through a
         :class:`~repro.runtime.RankExecutor`, so transient failures
         retry with backoff exactly as in ``generate_design_parallel``.
+    ``scheduler``
+        ``None`` (the default) commits rank by rank with a barrier
+        between ranks (``StaticScheduler(batch_size=1)``); pass a
+        :class:`~repro.engine.scheduler.WorkQueueScheduler` to run
+        completion-driven — ranks overlap on the backend's workers and
+        the engine's reorder buffer keeps shard bytes and manifest
+        byte-identical to the static order.
     ``crash_hook``
         ``hook(rank, completed_count)`` invoked after each rank is
         durably committed — :class:`~repro.runtime.CrashInjector` raises
@@ -150,13 +158,15 @@ def generate_to_disk(
     sink = ShardSink(
         directory, prefix=prefix, resume=resume, crash_hook=crash_hook
     )
+    if scheduler is None:
+        # One-rank batches: the sink commits after every rank and at
+        # most one rank's results are held between commits.
+        scheduler = StaticScheduler(batch_size=1)
     result = engine_execute(
         plan,
         sink,
         backend=backend,
-        # One-rank batches: the sink commits after every rank and at
-        # most one rank's results are held between commits.
-        scheduler=StaticScheduler(batch_size=1),
+        scheduler=scheduler,
         metrics=metrics,
         tracer=tracer,
         max_retries=max_retries,
@@ -284,6 +294,8 @@ def streamed_degree_distribution(
     n_ranks: int,
     *,
     memory_budget_entries: int = 50_000_000,
+    backend: BackendLike = None,
+    scheduler=None,
     memory_entries: int | None = None,
 ) -> DegreeDistribution:
     """Measured degree distribution, one budget-sized tile at a time."""
@@ -294,7 +306,10 @@ def streamed_degree_distribution(
         design, n_ranks, memory_budget_entries=memory_budget_entries
     )
     result = engine_execute(
-        plan, DegreeSink(), scheduler=StaticScheduler(batch_size=1)
+        plan,
+        DegreeSink(),
+        backend=backend,
+        scheduler=scheduler or StaticScheduler(batch_size=1),
     )
     return result.sink_result.distribution()
 

@@ -10,7 +10,8 @@ is the execution/observability layer the rest of the system plugs into:
   sink (in-memory ring buffer by default);
 * :mod:`repro.runtime.executor` — :class:`RankExecutor`: per-rank
   timeout, bounded retry with exponential backoff + jitter, transient vs
-  fatal failure classification, straggler detection;
+  fatal failure classification, straggler detection; both batch
+  (``run``) and completion-streaming (``run_iter``) surfaces;
 * :mod:`repro.runtime.events` — progress callbacks the CLI consumes for
   live per-rank output;
 * :mod:`repro.runtime.checkpoint` — the durability layer: atomic
@@ -45,6 +46,8 @@ from repro.runtime.executor import (
     RankAttempt,
     RankExecutor,
     RankReport,
+    TaskCompletion,
+    as_streaming,
 )
 from repro.runtime.metrics import (
     DEFAULT_BUCKETS,
@@ -98,6 +101,8 @@ __all__ = [
     "ExecutionResult",
     "RankReport",
     "RankAttempt",
+    "TaskCompletion",
+    "as_streaming",
     "FailureInjector",
     "RankEvents",
     "ConsoleProgress",

@@ -22,6 +22,12 @@ rank is an independently retryable, measurable unit of work.
   :class:`~repro.runtime.tracing.Tracer`, and live progress in a
   :class:`~repro.runtime.events.RankEvents` bag.
 
+Two execution surfaces share all of the above: :meth:`RankExecutor.run`
+(batch-synchronous ``Backend.map`` rounds) and
+:meth:`RankExecutor.run_iter` (completion-driven streaming over
+``submit``/``as_completed``, yielding :class:`TaskCompletion` objects as
+results land — the engine's work-queue path).
+
 Clock, sleep, and RNG are injectable, so retry/backoff behaviour is unit
 tested with a deterministic fake clock and zero real sleeping.
 """
@@ -32,18 +38,19 @@ import random
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     FatalRankError,
+    GenerationError,
     RankTimeoutError,
     RetryExhaustedError,
     TransientRankError,
 )
 from repro.runtime.events import RankEvents
 from repro.runtime.metrics import MetricsRegistry
-from repro.runtime.tracing import Tracer
-from repro.typing import Backend
+from repro.runtime.tracing import Span, Tracer
+from repro.typing import Backend, StreamingBackend
 
 
 class FailureInjector:
@@ -133,6 +140,66 @@ def _guarded_call(task: _Task) -> _Outcome:
     )
 
 
+class _CompletedHandle:
+    """Handle over a value (or error) that is already known."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(
+        self, value: object = None, error: BaseException | None = None
+    ) -> None:
+        self._value = value
+        self._error = error
+
+    def result(self) -> object:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _MapStreamingAdapter:
+    """Present a map-only :class:`~repro.typing.Backend` as streaming.
+
+    ``submit`` pushes the single item through the backend's own ``map``
+    eagerly, so nothing actually overlaps — but a third-party backend
+    that only implements ``map`` still runs correctly (if serially)
+    under the completion-driven execution path.  This adapter lives in
+    :mod:`repro.runtime` (not :mod:`repro.parallel`) because the
+    executor must not import the higher backend layer.
+    """
+
+    def __init__(self, backend: Backend) -> None:
+        self._backend = backend
+        self.name = backend.name
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        return self._backend.map(fn, items)
+
+    def submit(self, fn: Callable, item: object) -> _CompletedHandle:
+        try:
+            return _CompletedHandle(value=self._backend.map(fn, [item])[0])
+        except BaseException as exc:
+            return _CompletedHandle(error=exc)
+
+    def as_completed(self, handles: Sequence) -> Iterator:
+        return iter(handles)
+
+    def shutdown(self) -> None:
+        getattr(self._backend, "shutdown", lambda: None)()
+
+
+def as_streaming(backend: Backend) -> StreamingBackend:
+    """Return ``backend`` if it already streams, else wrap it.
+
+    The wrapper (:class:`_MapStreamingAdapter`) derives ``submit`` /
+    ``as_completed`` from ``map`` — correct for any conforming backend,
+    with no concurrency of its own.
+    """
+    if isinstance(backend, StreamingBackend):
+        return backend
+    return _MapStreamingAdapter(backend)
+
+
 @dataclass(frozen=True)
 class RankAttempt:
     """One attempt's accounting."""
@@ -199,6 +266,23 @@ class ExecutionResult:
             "stragglers": self.stragglers,
             "ranks": [r.to_dict() for r in self.reports],
         }
+
+
+@dataclass(frozen=True)
+class TaskCompletion:
+    """One task finishing, as yielded by :meth:`RankExecutor.run_iter`.
+
+    ``index`` is the position in the submitted ``items`` sequence;
+    ``report`` is that task's (final) :class:`RankReport`; ``in_flight``
+    is how many tasks were running at the moment this one completed —
+    the instantaneous queue depth, which the engine aggregates into
+    ``engine.queue_depth``.
+    """
+
+    index: int
+    value: object
+    report: RankReport
+    in_flight: int
 
 
 class RankExecutor:
@@ -389,6 +473,201 @@ class RankExecutor:
 
         self._flag_stragglers(reports)
         return ExecutionResult(results=results, reports=reports)
+
+    def run_iter(
+        self,
+        fn: Callable,
+        items: Sequence,
+        *,
+        injector: Callable[[int, int], None] | None = None,
+        max_in_flight: int | None = None,
+        submit_hook: Callable[[Tuple[int, ...]], Optional[int]] | None = None,
+    ) -> Iterator[TaskCompletion]:
+        """Run ``fn`` over ``items``, yielding completions as they land.
+
+        The streaming counterpart of :meth:`run`: instead of mapping a
+        whole batch and barriering, tasks are submitted individually
+        (``max_in_flight`` at a time, default = the full item count) and
+        a :class:`TaskCompletion` is yielded the moment each succeeds —
+        in *completion* order, not item order.  Retry, backoff, timeout
+        classification, and metrics/events match :meth:`run` task for
+        task, with two streaming-specific differences:
+
+        * retries are per-task — one failing task delays only itself
+          (the retry backoff sleep runs in the coordinator, so already
+          in-flight work keeps running underneath it);
+        * straggler flagging is *online*: a completion is compared
+          against the running median of successes so far (needs at
+          least two earlier successes), so early finishers are never
+          flagged retroactively.
+
+        ``submit_hook`` lets the caller steer submission order and apply
+        backpressure: it receives the tuple of not-yet-submitted item
+        indices and returns the one to submit next, or ``None`` to pause
+        submission until the next completion.  Pausing with nothing in
+        flight would deadlock, so that case raises
+        :class:`~repro.errors.GenerationError`.
+
+        Map-only backends are adapted via :func:`as_streaming` (they run
+        correctly but without overlap).  Raises exactly like
+        :meth:`run` on fatal or retry-exhausted failures.
+        """
+        items = list(items)
+        n = len(items)
+        if max_in_flight is not None and max_in_flight < 1:
+            raise GenerationError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        limit = max_in_flight if max_in_flight is not None else max(1, n)
+        reports = [RankReport(rank=i) for i in range(n)]
+        if self.metrics is not None:
+            self.metrics.gauge("ranks.total").set(n)
+        backend = as_streaming(self.backend)
+        pending: List[int] = list(range(n))
+        attempts: Dict[int, int] = {i: 0 for i in range(n)}
+        in_flight: Dict[object, int] = {}
+        spans: Dict[int, Span] = {}
+        successes: List[float] = []
+
+        def submit(idx: int) -> None:
+            attempt = attempts[idx]
+            self.events.rank_start(idx, attempt)
+            if self.tracer is not None:
+                # Overlapping in-flight spans can't use the tracer's
+                # per-thread stack; they are built and recorded by hand.
+                spans[idx] = Span(
+                    name="executor.task",
+                    start_s=self._clock(),
+                    attributes={
+                        "task": idx,
+                        "attempt": attempt,
+                        "backend": backend.name,
+                    },
+                    parent="executor.run_iter",
+                    depth=1,
+                )
+            task = _Task(
+                index=idx,
+                fn=fn,
+                item=items[idx],
+                attempt=attempt,
+                clock=self._clock,
+                injector=injector,
+            )
+            in_flight[backend.submit(_guarded_call, task)] = idx
+
+        def fill() -> None:
+            while pending and len(in_flight) < limit:
+                if submit_hook is None:
+                    choice = pending.pop(0)
+                else:
+                    choice = submit_hook(tuple(pending))
+                    if choice is None:
+                        return
+                    if choice not in pending:
+                        raise GenerationError(
+                            f"submit_hook returned {choice!r}, which is not "
+                            f"an unsubmitted task index"
+                        )
+                    pending.remove(choice)
+                submit(choice)
+
+        run_span: Optional[Span] = None
+        if self.tracer is not None:
+            run_span = Span(
+                name="executor.run_iter",
+                start_s=self._clock(),
+                attributes={"ranks": n, "backend": backend.name},
+            )
+        try:
+            completed = 0
+            while completed < n:
+                fill()
+                if not in_flight:
+                    raise GenerationError(
+                        "submit_hook stalled the work queue: nothing in "
+                        f"flight but {len(pending)} task(s) unsubmitted"
+                    )
+                depth = len(in_flight)
+                handle = next(iter(backend.as_completed(list(in_flight))))
+                idx = in_flight.pop(handle)
+                attempt = attempts[idx]
+                outcome = self._classify(handle.result())
+                span = spans.pop(idx, None)
+                if span is not None:
+                    span.end_s = self._clock()
+                    span.attributes["ok"] = outcome.ok
+                    self.tracer.sink.record(span)
+                reports[idx].attempts.append(
+                    RankAttempt(
+                        attempt=attempt,
+                        ok=outcome.ok,
+                        elapsed_s=outcome.elapsed_s,
+                        error=outcome.error_text,
+                    )
+                )
+                if outcome.ok:
+                    completed += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("ranks.completed").inc()
+                        self.metrics.histogram("rank.elapsed_s").observe(
+                            outcome.elapsed_s
+                        )
+                    self.events.rank_done(idx, outcome.elapsed_s, attempt)
+                    if len(successes) >= 2:
+                        median = statistics.median(successes)
+                        if (
+                            median > 0
+                            and outcome.elapsed_s
+                            > self.straggler_factor * median
+                        ):
+                            reports[idx].straggler = True
+                            if self.metrics is not None:
+                                self.metrics.counter("ranks.stragglers").inc()
+                            self.events.straggler(
+                                idx, outcome.elapsed_s, median
+                            )
+                    successes.append(outcome.elapsed_s)
+                    yield TaskCompletion(
+                        index=idx,
+                        value=outcome.value,
+                        report=reports[idx],
+                        in_flight=depth,
+                    )
+                    continue
+                if outcome.error_kind == "fatal":
+                    if self.metrics is not None:
+                        self.metrics.counter("ranks.failed_fatal").inc()
+                    raise FatalRankError(
+                        f"rank {idx} failed fatally on attempt "
+                        f"{attempt + 1}: {outcome.error_text}"
+                    )
+                if attempt >= self.max_retries:
+                    if self.metrics is not None:
+                        self.metrics.counter("ranks.failed_exhausted").inc()
+                    raise RetryExhaustedError(
+                        f"rank {idx} failed {attempt + 1} time(s), retry "
+                        f"budget {self.max_retries} exhausted: "
+                        f"{outcome.error_text}"
+                    )
+                if self.metrics is not None:
+                    self.metrics.counter("ranks.retried").inc()
+                    if outcome.error_kind == "timeout":
+                        self.metrics.counter("ranks.timeout").inc()
+                delay = self.backoff_delay(attempt)
+                error: TransientRankError = (
+                    RankTimeoutError(outcome.error_text)
+                    if outcome.error_kind == "timeout"
+                    else TransientRankError(outcome.error_text)
+                )
+                self.events.retry(idx, attempt, delay, error)
+                self._sleep(delay)
+                attempts[idx] = attempt + 1
+                submit(idx)
+        finally:
+            if run_span is not None:
+                run_span.end_s = self._clock()
+                self.tracer.sink.record(run_span)
 
     def _flag_stragglers(self, reports: List[RankReport]) -> None:
         """Flag ranks whose final elapsed exceeds k× the median."""

@@ -9,18 +9,23 @@ from repro.parallel import (
     MultiprocessingBackend,
     SerialBackend,
     ThreadBackend,
+    backend_worker_count,
     default_start_method,
     get_backend,
     list_backends,
     resolve_backend,
 )
-from repro.typing import Backend
+from repro.typing import Backend, StreamingBackend
 
 ALL_BACKENDS = [SerialBackend, ThreadBackend, MultiprocessingBackend]
 
 
 def _square(x):
     return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
 
 
 @pytest.fixture(params=ALL_BACKENDS, ids=lambda cls: cls.name)
@@ -45,6 +50,56 @@ class TestProtocolConformance:
 
     def test_map_accepts_any_sequence(self, backend):
         assert backend.map(_square, (2, 4)) == [4, 16]
+
+
+class TestStreamingConformance:
+    """The submit/as_completed surface every shipped backend carries."""
+
+    def test_satisfies_streaming_protocol(self, backend):
+        assert isinstance(backend, StreamingBackend)
+
+    def test_submit_result_round_trip(self, backend):
+        assert backend.submit(_square, 7).result() == 49
+
+    def test_submit_exception_replayed_by_result(self, backend):
+        handle = backend.submit(_boom, 3)
+        with pytest.raises(ValueError, match="boom on 3"):
+            handle.result()
+
+    def test_as_completed_yields_every_handle(self, backend):
+        handles = [backend.submit(_square, i) for i in range(5)]
+        done = list(backend.as_completed(handles))
+        assert sorted(h.result() for h in done) == [0, 1, 4, 9, 16]
+        assert len(done) == len(handles)
+
+    def test_map_agrees_with_submit(self, backend):
+        items = [3, 1, 4, 1, 5]
+        via_map = backend.map(_square, items)
+        via_submit = [backend.submit(_square, i).result() for i in items]
+        assert via_map == via_submit
+
+    def test_worker_count_positive(self, backend):
+        assert backend_worker_count(backend) >= 1
+
+
+class TestBackendWorkerCount:
+    def test_serial_is_one(self):
+        assert backend_worker_count(SerialBackend()) == 1
+
+    def test_thread_reports_max_workers(self):
+        assert backend_worker_count(ThreadBackend(max_workers=3)) == 3
+
+    def test_multiprocessing_reports_processes(self):
+        assert backend_worker_count(MultiprocessingBackend(processes=2)) == 2
+
+    def test_unknown_backend_defaults_to_one(self):
+        class MapOnly:
+            name = "map-only"
+
+            def map(self, fn, items):
+                return [fn(i) for i in items]
+
+        assert backend_worker_count(MapOnly()) == 1
 
 
 class TestRegistry:
@@ -94,6 +149,22 @@ class TestMultiprocessingStartMethod:
         backend = MultiprocessingBackend(processes=2, start_method=method)
         assert backend.start_method == method
         assert backend.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+
+class TestMultiprocessingSubmit:
+    def test_persistent_executor_released_by_shutdown(self):
+        backend = MultiprocessingBackend(processes=2)
+        try:
+            assert backend.submit(_square, 4).result() == 16
+            assert backend._executor is not None
+        finally:
+            backend.shutdown()
+        assert backend._executor is None
+
+    def test_map_does_not_start_persistent_executor(self):
+        backend = MultiprocessingBackend(processes=2)
+        assert backend.map(_square, [2, 3]) == [4, 9]
+        assert backend._executor is None
 
 
 class TestThreadBackend:

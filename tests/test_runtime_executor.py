@@ -273,3 +273,180 @@ class TestObservability:
         assert d["total_retries"] == 1
         assert d["ranks"][0]["retries"] == 1
         assert len(d["ranks"][0]["attempts"]) == 2
+
+
+class TestRunIter:
+    """The completion-streaming surface (run_iter)."""
+
+    def _collect(self, executor, fn, items, **kwargs):
+        return list(executor.run_iter(fn, items, **kwargs))
+
+    def test_serial_completions_in_submission_order(self):
+        executor, _, _ = make_executor()
+        done = self._collect(executor, lambda x: x * 10, [1, 2, 3])
+        assert [c.index for c in done] == [0, 1, 2]
+        assert [c.value for c in done] == [10, 20, 30]
+        assert all(c.in_flight >= 1 for c in done)
+
+    def test_empty_items(self):
+        executor, _, _ = make_executor()
+        assert self._collect(executor, lambda x: x, []) == []
+
+    def test_transient_failure_retried_per_task(self):
+        executor, _, sleeps = make_executor(max_retries=2)
+        injector = FailureInjector([1], fail_attempts=1)
+        done = self._collect(
+            executor, lambda x: x, ["a", "b", "c"], injector=injector
+        )
+        by_index = {c.index: c for c in done}
+        assert by_index[1].value == "b"
+        assert by_index[1].report.retries == 1
+        assert not by_index[1].report.attempts[0].ok
+        assert by_index[1].report.attempts[1].ok
+        assert len(sleeps) == 1
+
+    def test_fatal_error_raises_with_rank_message(self):
+        executor, _, _ = make_executor(max_retries=5)
+        injector = FailureInjector([1], fatal=True)
+        with pytest.raises(FatalRankError, match="rank 1 failed fatally"):
+            self._collect(executor, lambda x: x, [1, 2], injector=injector)
+
+    def test_retry_budget_exhausted_raises(self):
+        executor, _, _ = make_executor(max_retries=2)
+        injector = FailureInjector([0], fail_attempts=10)
+        with pytest.raises(RetryExhaustedError, match="retry budget 2 exhausted"):
+            self._collect(executor, lambda x: x, [1], injector=injector)
+
+    def test_timeout_classified_and_retried(self):
+        executor, clock, _ = make_executor(max_retries=1, rank_timeout_s=5.0)
+        durations = iter([10.0, 1.0])
+
+        def work(x):
+            clock.advance(next(durations))
+            return x
+
+        done = self._collect(executor, work, ["ok"])
+        first, second = done[0].report.attempts
+        assert not first.ok and "RankTimeoutError" in first.error
+        assert second.ok
+
+    def test_online_straggler_flagged_against_running_median(self):
+        executor, clock, _ = make_executor(straggler_factor=3.0)
+
+        def work(dt):
+            clock.advance(dt)
+            return dt
+
+        done = self._collect(executor, work, [1.0, 1.0, 10.0])
+        assert [c.report.straggler for c in done] == [False, False, True]
+
+    def test_early_finisher_never_flagged_retroactively(self):
+        # The slow task completes first (serial order); with fewer than
+        # two earlier successes there is no median to compare against.
+        executor, clock, _ = make_executor(straggler_factor=3.0)
+
+        def work(dt):
+            clock.advance(dt)
+            return dt
+
+        done = self._collect(executor, work, [10.0, 1.0, 1.0])
+        assert all(not c.report.straggler for c in done)
+
+    def test_submit_hook_steers_order(self):
+        executor, _, _ = make_executor()
+        done = self._collect(
+            executor,
+            lambda x: x,
+            [0, 1, 2],
+            submit_hook=lambda pending: pending[-1],
+        )
+        assert [c.index for c in done] == [2, 1, 0]
+
+    def test_submit_hook_bad_index_rejected(self):
+        from repro.errors import GenerationError
+
+        executor, _, _ = make_executor()
+        with pytest.raises(GenerationError, match="not an unsubmitted task"):
+            self._collect(
+                executor, lambda x: x, [1, 2], submit_hook=lambda pending: 99
+            )
+
+    def test_submit_hook_stall_detected(self):
+        from repro.errors import GenerationError
+
+        executor, _, _ = make_executor()
+        with pytest.raises(GenerationError, match="stalled the work queue"):
+            self._collect(
+                executor, lambda x: x, [1, 2], submit_hook=lambda pending: None
+            )
+
+    def test_invalid_max_in_flight_rejected(self):
+        from repro.errors import GenerationError
+
+        executor, _, _ = make_executor()
+        with pytest.raises(GenerationError, match="max_in_flight"):
+            self._collect(executor, lambda x: x, [1], max_in_flight=0)
+
+    def test_metrics_match_run_semantics(self):
+        metrics = MetricsRegistry()
+        executor, _, _ = make_executor(max_retries=1, metrics=metrics)
+        injector = FailureInjector([0], fail_attempts=1)
+        self._collect(executor, lambda x: x, [1, 2], injector=injector)
+        snap = metrics.snapshot()
+        assert snap["counters"]["ranks.completed"] == 2
+        assert snap["counters"]["ranks.retried"] == 1
+        assert snap["gauges"]["ranks.total"] == 2
+        assert snap["histograms"]["rank.elapsed_s"]["count"] == 2
+
+    def test_per_task_spans_recorded(self):
+        sink = ListSink()
+        executor, _, _ = make_executor(tracer=Tracer(sink, clock=FakeClock()))
+        self._collect(executor, lambda x: x, [1, 2])
+        names = [s.name for s in sink.spans]
+        assert names.count("executor.task") == 2
+        assert names.count("executor.run_iter") == 1
+        task_spans = [s for s in sink.spans if s.name == "executor.task"]
+        assert {s.attributes["task"] for s in task_spans} == {0, 1}
+        assert all(s.attributes["ok"] for s in task_spans)
+
+    def test_map_only_backend_adapted(self):
+        from repro.runtime import as_streaming
+        from repro.typing import StreamingBackend
+
+        class MapOnly:
+            name = "map-only"
+
+            def map(self, fn, items):
+                return [fn(i) for i in items]
+
+        backend = MapOnly()
+        assert not isinstance(backend, StreamingBackend)
+        adapted = as_streaming(backend)
+        assert isinstance(adapted, StreamingBackend)
+        executor = RankExecutor(backend)
+        done = list(executor.run_iter(lambda x: x + 1, [1, 2, 3]))
+        assert [c.value for c in done] == [2, 3, 4]
+
+    def test_thread_backend_overlaps_straggler(self):
+        # One slow task on two workers: total wall must be well below
+        # the serial sum (real sleeps, kept tiny).
+        import time as _time
+
+        from repro.parallel import ThreadBackend
+
+        backend = ThreadBackend(max_workers=2)
+        try:
+            executor = RankExecutor(backend)
+
+            def work(dt):
+                _time.sleep(dt)
+                return dt
+
+            durations = [0.2, 0.05, 0.05, 0.05]
+            t0 = _time.perf_counter()
+            done = list(executor.run_iter(work, durations))
+            wall = _time.perf_counter() - t0
+        finally:
+            backend.shutdown()
+        assert sorted(c.value for c in done) == sorted(durations)
+        assert wall < sum(durations)

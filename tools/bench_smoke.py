@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark smoke target: ``python tools/bench_smoke.py``.
 
-Four cheap CI guards:
+Five cheap CI guards:
 
 1. the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot test
    only), asserting a machine-readable metrics JSON was produced — the
@@ -14,10 +14,16 @@ Four cheap CI guards:
    output is byte-identical to the default-budget run — the
    bounded-memory path stays exact;
 4. the chunked shard reader against a per-line reference, asserting
-   equality and a throughput floor — the fast path stays fast.
+   equality and a throughput floor — the fast path stays fast;
+5. a streamed run with one injected 10× straggler rank on a 4-worker
+   thread backend, run under both schedulers, asserting the work queue
+   beats the static path on wall-clock, beats it on worker utilization
+   (with an absolute floor), and produces byte-identical shards and
+   manifest — the completion-driven path stays both faster and exact.
 
-With ``--artifact-dir`` the tiled run's metrics snapshot is written
-there for CI to upload.  The full benchmark suite is run separately.
+With ``--artifact-dir`` the tiled and straggler runs' metrics snapshots
+are written there for CI to upload.  The full benchmark suite is run
+separately.
 """
 
 from __future__ import annotations
@@ -147,6 +153,135 @@ def smoke_tiled_budget(
     return 0
 
 
+class StragglerDelay:
+    """Injector that *delays* instead of failing: one rank sleeps 10×
+    longer than the rest inside the worker, before the kernel.
+
+    Module-level and stateless (delay is a function of ``rank``) so it
+    pickles across process boundaries, same contract as
+    :class:`repro.runtime.FailureInjector`.
+    """
+
+    def __init__(
+        self, slow_rank: int = 0, slow_s: float = 0.5, base_s: float = 0.05
+    ) -> None:
+        self.slow_rank = slow_rank
+        self.slow_s = slow_s
+        self.base_s = base_s
+
+    def __call__(self, rank: int, attempt: int) -> None:
+        time.sleep(self.slow_s if rank == self.slow_rank else self.base_s)
+
+
+def smoke_straggler_queue(root: Path, artifact_dir: Path | None) -> int:
+    """Same plan, same 4-worker thread backend, one 10× straggler rank:
+    the work-queue scheduler must finish faster and busier than the
+    static rank-by-rank path, with byte-identical output."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.design import PowerLawDesign
+    from repro.engine import WorkQueueScheduler
+    from repro.parallel import generate_to_disk
+    from repro.parallel.backends import ThreadBackend
+    from repro.runtime import MetricsRegistry
+
+    design = PowerLawDesign([3, 4, 5], "center")
+    n_ranks = 8
+    delay = StragglerDelay()
+    utilization_floor = 0.30
+    results: dict = {}
+    with tempfile.TemporaryDirectory(prefix="repro-straggler-smoke-") as tmp:
+        for label, scheduler in (
+            ("static", None),  # generate_to_disk default: rank-by-rank
+            ("queue", WorkQueueScheduler()),
+        ):
+            backend = ThreadBackend(max_workers=4)
+            metrics = MetricsRegistry()
+            out = Path(tmp) / label
+            t0 = time.perf_counter()
+            generate_to_disk(
+                design,
+                n_ranks,
+                out,
+                backend=backend,
+                scheduler=scheduler,
+                failure_injector=delay,
+                metrics=metrics,
+            )
+            wall = time.perf_counter() - t0
+            backend.shutdown()
+            gauges = metrics.snapshot()["gauges"]
+            results[label] = {
+                "wall_s": wall,
+                "worker_utilization": gauges.get("engine.worker_utilization", 0.0),
+                "straggler_gap_s": gauges.get("engine.straggler_gap_s", 0.0),
+                "queue_depth": gauges.get("engine.queue_depth", 0.0),
+            }
+            results[label + "_dir"] = out
+        static, queue = results["static"], results["queue"]
+        names = sorted(p.name for p in results["static_dir"].iterdir())
+        if names != sorted(p.name for p in results["queue_dir"].iterdir()):
+            print("bench-smoke: scheduler runs wrote different files", file=sys.stderr)
+            return 1
+        for name in names:
+            if (results["static_dir"] / name).read_bytes() != (
+                results["queue_dir"] / name
+            ).read_bytes():
+                print(
+                    f"bench-smoke: {name} differs between schedulers",
+                    file=sys.stderr,
+                )
+                return 1
+        if queue["wall_s"] >= static["wall_s"]:
+            print(
+                f"bench-smoke: queue wall {queue['wall_s']:.3f}s not below "
+                f"static wall {static['wall_s']:.3f}s under the straggler",
+                file=sys.stderr,
+            )
+            return 1
+        if queue["worker_utilization"] <= static["worker_utilization"]:
+            print(
+                f"bench-smoke: queue utilization "
+                f"{queue['worker_utilization']:.3f} not above static "
+                f"{static['worker_utilization']:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+        if queue["worker_utilization"] < utilization_floor:
+            print(
+                f"bench-smoke: queue utilization "
+                f"{queue['worker_utilization']:.3f} below the "
+                f"{utilization_floor} floor",
+                file=sys.stderr,
+            )
+            return 1
+    snapshot = {
+        "run": {
+            "command": "bench-smoke straggler-queue",
+            "ranks": n_ranks,
+            "workers": 4,
+            "slow_rank": delay.slow_rank,
+            "slow_s": delay.slow_s,
+            "base_s": delay.base_s,
+            "utilization_floor": utilization_floor,
+        },
+        "static": static,
+        "queue": queue,
+    }
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        out = artifact_dir / "straggler_queue_metrics.json"
+        out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"bench-smoke: wrote straggler metrics to {out}", file=sys.stderr)
+    print(
+        "bench-smoke: OK — straggler run: queue "
+        f"{queue['wall_s']:.3f}s (util {queue['worker_utilization']:.2f}) vs "
+        f"static {static['wall_s']:.3f}s "
+        f"(util {static['worker_utilization']:.2f}), output byte-identical",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def smoke_degree_reader(root: Path) -> int:
     """Equality + throughput floor for the chunked shard reader."""
     sys.path.insert(0, str(root / "src"))
@@ -264,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         lambda: smoke_interrupted_resume(root),
         lambda: smoke_tiled_budget(root, args.memory_budget, args.artifact_dir),
         lambda: smoke_degree_reader(root),
+        lambda: smoke_straggler_queue(root, args.artifact_dir),
     ):
         code = guard()
         if code != 0:
