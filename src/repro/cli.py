@@ -140,11 +140,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_gen.add_argument(
         "--sink",
-        choices=["assemble", "shards", "degrees"],
+        choices=["assemble", "shards", "degrees", "net"],
         default="assemble",
         help="where generated edges go: assemble in memory (default), "
-        "stream checksummed shards to --out (same as --stream), or "
-        "accumulate only the degree distribution",
+        "stream checksummed shards to --out (same as --stream), "
+        "accumulate only the degree distribution, or stream every tile "
+        "through a repro.net transport to a collector writing the same "
+        "shards (byte-identical to --sink shards)",
+    )
+    p_gen.add_argument(
+        "--transport",
+        choices=["inproc", "socket", "mpi"],
+        default="inproc",
+        help="with --sink net: how tile frames move to the collector "
+        "(inproc queues, localhost TCP, or MPI point-to-point; mpi "
+        "needs mpi4py and an mpiexec launch)",
     )
     _add_runtime_args(p_gen)
 
@@ -236,7 +246,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     from repro.validate import audit_partition
 
     design = PowerLawDesign(args.star_sizes, args.self_loop)
-    if args.sink == "shards" or args.stream or args.resume:
+    if args.sink in ("shards", "net") or args.stream or args.resume:
         return _cmd_generate_stream(args, design)
     if args.sink == "degrees":
         return _cmd_generate_degrees(args, design)
@@ -286,6 +296,7 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
 
     if not args.out:
         raise GenerationError("--stream/--resume require --out DIRECTORY")
+    transport = args.transport if getattr(args, "sink", None) == "net" else None
     metrics = MetricsRegistry()
     summary = generate_to_disk(
         design,
@@ -298,6 +309,7 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
         scheduler=_resolve_scheduler(args),
         max_retries=args.max_retries,
         metrics=metrics,
+        transport=transport,
     )
     reused = summary.skipped_ranks
     print(
@@ -305,6 +317,13 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
         f"shards to {args.out} "
         f"({reused} reused from checkpoint, {summary.n_ranks - reused} generated)"
     )
+    if transport is not None:
+        frames = metrics.counter("net.frames_sent").value
+        net_bytes = metrics.counter("net.bytes_sent").value
+        print(
+            f"collected over {transport} transport: "
+            f"{int(frames):,} frames, {int(net_bytes):,} bytes"
+        )
     print(f"manifest: {summary.manifest_path}")
     if args.metrics_out:
         path = _write_metrics_snapshot(
@@ -315,6 +334,7 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
             backend=args.backend,
             total_edges=summary.total_edges,
             skipped_ranks=reused,
+            transport=transport,
         )
         print(f"wrote metrics snapshot to {path}")
     return 0

@@ -19,6 +19,10 @@ they now share:
   :class:`ShardSink` (crash-safe atomic shards + manifest),
   :class:`DegreeSink` (streaming degree histogram, no edge storage).
 
+:mod:`repro.net` layers a fourth sink on top:
+:class:`~repro.net.TransportSink` streams tiles over a transport to a
+collector process feeding any of the sinks above, byte-identically.
+
 Memory semantics: ``memory_budget_entries`` bounds both the B/C split
 (each half's nnz) and the per-tile output size inside a rank, so peak
 per-rank memory is ``max(budget, largest single Bp row × nnz(C))``

@@ -263,6 +263,10 @@ class _DegreeConsumerFactory:
 
 
 # -- sinks (coordinator-side) -------------------------------------------------
+#: Sentinel distinguishing "never finalized" from a legitimate None result.
+_UNFINALIZED = object()
+
+
 class Sink:
     """Where committed rank outcomes go.
 
@@ -272,23 +276,80 @@ class Sink:
     ``commit(task, outcome)`` per completed task, ascending rank order
     within each batch → ``finalize(plan, elapsed_s=..., skipped=...)``
     on success, or ``abort(exc)`` on a fatal error before it re-raises.
+
+    The public methods are a template: they enforce the lifecycle state
+    machine once, for every sink, and delegate to the ``_open`` /
+    ``_commit`` / ``_abort`` / ``_finalize`` hooks subclasses override.
+    The enforced contract (what the conformance suite asserts):
+
+    * ``abort`` is **idempotent** — the streaming reorder-buffer path and
+      ``execute()``'s outer handler can both observe one failure, so a
+      second (or later) ``abort`` is a no-op, as is ``abort`` after
+      ``finalize`` or before ``open``;
+    * ``commit`` after ``abort`` or ``finalize`` raises
+      :class:`~repro.errors.GenerationError` — a torn-down sink must
+      never silently swallow a rank's output;
+    * ``finalize`` after ``abort`` raises — there is no valid result;
+    * ``finalize`` is **idempotent** — a second call returns the first
+      call's cached result without re-running side effects;
+    * ``open`` resets the state machine, so a sink instance whose run
+      never started can be reused.
     """
+
+    _aborted: bool = False
+    _finalized: object = _UNFINALIZED
 
     def open(
         self, plan: "GenerationPlan", *, metrics: MetricsRegistry | None = None
     ) -> Tuple[int, ...]:
-        return ()
+        self._aborted = False
+        self._finalized = _UNFINALIZED
+        return self._open(plan, metrics=metrics)
 
     def consumer_factory(self, task: "RankTask"):
         raise NotImplementedError
 
     def commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
-        pass
+        if self._aborted:
+            raise GenerationError(
+                f"cannot commit rank {task.rank}: the sink was aborted"
+            )
+        if self._finalized is not _UNFINALIZED:
+            raise GenerationError(
+                f"cannot commit rank {task.rank}: the sink was finalized"
+            )
+        self._commit(task, outcome)
 
     def abort(self, exc: BaseException) -> None:
-        pass
+        if self._aborted or self._finalized is not _UNFINALIZED:
+            return
+        self._aborted = True
+        self._abort(exc)
 
     def finalize(
+        self, plan: "GenerationPlan", *, elapsed_s: float, skipped: Tuple[int, ...]
+    ):
+        if self._aborted:
+            raise GenerationError("cannot finalize an aborted sink")
+        if self._finalized is not _UNFINALIZED:
+            return self._finalized
+        result = self._finalize(plan, elapsed_s=elapsed_s, skipped=skipped)
+        self._finalized = result
+        return result
+
+    # -- subclass hooks ------------------------------------------------------
+    def _open(
+        self, plan: "GenerationPlan", *, metrics: MetricsRegistry | None = None
+    ) -> Tuple[int, ...]:
+        return ()
+
+    def _commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
+        pass
+
+    def _abort(self, exc: BaseException) -> None:
+        pass
+
+    def _finalize(
         self, plan: "GenerationPlan", *, elapsed_s: float, skipped: Tuple[int, ...]
     ):
         raise NotImplementedError
@@ -330,10 +391,10 @@ class AssemblySink(Sink):
     def consumer_factory(self, task: "RankTask") -> _BlockConsumerFactory:
         return _BlockConsumerFactory()
 
-    def commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
+    def _commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
         self._blocks[task.rank] = outcome.payload
 
-    def finalize(
+    def _finalize(
         self, plan: "GenerationPlan", *, elapsed_s: float, skipped: Tuple[int, ...]
     ) -> AssemblyResult:
         return AssemblyResult(plan=plan, blocks=dict(self._blocks))
@@ -393,7 +454,7 @@ class ShardSink(Sink):
             manifest.drop_shard(rank)
 
     # -- Sink protocol -------------------------------------------------------
-    def open(
+    def _open(
         self, plan: "GenerationPlan", *, metrics: MetricsRegistry | None = None
     ) -> Tuple[int, ...]:
         if plan.fingerprint is None:
@@ -423,7 +484,7 @@ class ShardSink(Sink):
     def consumer_factory(self, task: "RankTask") -> _ShardConsumerFactory:
         return _ShardConsumerFactory(str(self.directory), self.prefix)
 
-    def commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
+    def _commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
         record: ShardRecord = outcome.payload
         self._manifest.record_shard(record)
         self._commit_manifest()
@@ -434,16 +495,19 @@ class ShardSink(Sink):
         if self.crash_hook is not None:
             self.crash_hook(task.rank, self._completed)
 
-    def abort(self, exc: BaseException) -> None:
+    def _abort(self, exc: BaseException) -> None:
         # Leave a clean partial manifest behind (status=failed) so the
-        # run can be diagnosed and resumed.
+        # run can be diagnosed and resumed.  Abort before open (no
+        # manifest yet) has nothing to record.
+        if self._manifest is None:
+            return
         self._manifest.status = STATUS_FAILED
         try:
             self._commit_manifest()
         except StorageError:  # pragma: no cover - disk truly gone
             pass
 
-    def finalize(
+    def _finalize(
         self, plan: "GenerationPlan", *, elapsed_s: float, skipped: Tuple[int, ...]
     ) -> StreamSummary:
         manifest = self._manifest
@@ -491,7 +555,7 @@ class DegreeSink(Sink):
         self.num_vertices = num_vertices
         self._accumulator: Optional[StreamingDegreeAccumulator] = None
 
-    def open(
+    def _open(
         self, plan: "GenerationPlan", *, metrics: MetricsRegistry | None = None
     ) -> Tuple[int, ...]:
         n = self.num_vertices if self.num_vertices is not None else plan.num_vertices
@@ -501,11 +565,11 @@ class DegreeSink(Sink):
     def consumer_factory(self, task: "RankTask") -> _DegreeConsumerFactory:
         return _DegreeConsumerFactory(self._accumulator.num_vertices)
 
-    def commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
+    def _commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
         counts, edges = outcome.payload
         self._accumulator.add_counts(counts, edges)
 
-    def finalize(
+    def _finalize(
         self, plan: "GenerationPlan", *, elapsed_s: float, skipped: Tuple[int, ...]
     ) -> StreamingDegreeAccumulator:
         return self._accumulator

@@ -74,6 +74,48 @@ class StorageError(FatalRankError):
     """
 
 
+class TransportError(ReproError):
+    """A :mod:`repro.net` tile transport operation failed.
+
+    Base class for every distributed-collection failure: the contract is
+    that a transported run either produces byte-identical output to a
+    local run or raises a subclass of this — never silent data loss.
+    """
+
+
+class FrameCodecError(TransportError):
+    """A wire frame is malformed (bad magic, truncation, unknown version
+    or type, inconsistent lengths).  Decoding never returns garbage
+    tiles; it raises this instead."""
+
+
+class FrameIntegrityError(FrameCodecError):
+    """A frame's CRC32 does not match its content (bit rot in flight)."""
+
+
+class FrameSequenceError(TransportError):
+    """Frames arrived out of protocol order (duplicated, reordered, or
+    dropped tile/commit frames; unexpected control frames)."""
+
+
+class HandshakeError(TransportError):
+    """Producer and collector disagree about the run being generated
+    (fingerprint digest or rank-count mismatch at OPEN time)."""
+
+
+class TransportClosedError(TransportError):
+    """The peer endpoint closed (or the connection died) mid-protocol."""
+
+
+class TransportTimeoutError(TransportError):
+    """A blocking transport receive exceeded its timeout."""
+
+
+class TransportUnavailableError(TransportError):
+    """The requested transport cannot run here (e.g. ``mpi`` without
+    ``mpi4py``, or outside an MPI launcher)."""
+
+
 class CheckpointError(ReproError):
     """A durability-layer (manifest / shard checkpoint) operation failed."""
 

@@ -1,0 +1,277 @@
+"""The versioned wire format for distributed tile collection.
+
+Every message between a :class:`~repro.net.TransportSink` (producer) and
+a :class:`~repro.net.TileCollector` is one *frame*:
+
+======  ====  =======================================================
+offset  size  field
+======  ====  =======================================================
+0       4     magic ``b"RPNF"``
+4       4     CRC32 (big-endian) over every byte from offset 8 on
+8       1     codec version (:data:`CODEC_VERSION`)
+9       1     frame type (:data:`FRAME_TILE` ...)
+10      2     reserved (zero)
+12      4     rank (signed; ``-1`` on control frames without one)
+16      4     tile index within the rank (signed; ``-1`` when n/a)
+20      4     payload length in bytes
+24      n     payload
+======  ====  =======================================================
+
+The CRC covers the header fields *and* the payload, so any single bit
+flip anywhere after the magic raises
+:class:`~repro.errors.FrameIntegrityError`, and a flip inside the magic
+raises :class:`~repro.errors.FrameCodecError` — decoding never returns a
+garbage tile (the same checksum-or-refuse discipline as
+:mod:`repro.runtime.checkpoint`).
+
+Payloads come in two kinds:
+
+* **tile payloads** (:func:`encode_tile_payload`) — the three triple
+  arrays with their dtypes, so arbitrary integer/float widths round-trip
+  exactly;
+* **control payloads** (:func:`encode_control_payload`) — canonical
+  ASCII JSON dicts (OPEN/SKIP/COMMIT/ABORT/FINALIZE/RESULT bookkeeping).
+
+Nothing here touches a transport; the codec is pure bytes → values, so
+the property-based tests can hammer it without I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import FrameCodecError, FrameIntegrityError
+
+#: First bytes of every frame ("RePro Net Frame").
+FRAME_MAGIC = b"RPNF"
+
+#: Wire format version; bumped on incompatible layout changes.
+CODEC_VERSION = 1
+
+#: magic, crc32, version, frame type, reserved, rank, tile index, payload length.
+_HEADER = struct.Struct(">4sIBBHiiI")
+
+#: Header size in bytes (24).
+HEADER_BYTES = _HEADER.size
+
+#: Upper bound on a single frame (header + payload); a length prefix
+#: beyond this is treated as corruption, not an allocation request.
+MAX_FRAME_BYTES = 1 << 30
+
+# -- frame types --------------------------------------------------------------
+FRAME_OPEN = 1  #: producer → collector: handshake (fingerprint digest, n_ranks)
+FRAME_SKIP = 2  #: collector → producer: ranks already complete (resume)
+FRAME_TILE = 3  #: producer → collector: one tile's triples
+FRAME_COMMIT = 4  #: producer → collector: a rank's tiles are all sent
+FRAME_ABORT = 5  #: producer → collector: the run failed; abort the sink
+FRAME_FINALIZE = 6  #: producer → collector: all ranks committed; finalize
+FRAME_RESULT = 7  #: collector → producer: the finalized sink result
+
+#: Human-readable names, for errors and span attributes.
+FRAME_NAMES: Dict[int, str] = {
+    FRAME_OPEN: "open",
+    FRAME_SKIP: "skip",
+    FRAME_TILE: "tile",
+    FRAME_COMMIT: "commit",
+    FRAME_ABORT: "abort",
+    FRAME_FINALIZE: "finalize",
+    FRAME_RESULT: "result",
+}
+
+#: Array dtype kinds a tile payload may carry (fixed-width numerics).
+_TILE_DTYPE_KINDS = frozenset("biuf")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: type, addressing, raw payload bytes."""
+
+    frame_type: int
+    rank: int
+    tile_index: int
+    payload: bytes
+
+    @property
+    def type_name(self) -> str:
+        return FRAME_NAMES.get(self.frame_type, f"unknown({self.frame_type})")
+
+
+def encode_frame(
+    frame_type: int,
+    payload: bytes = b"",
+    *,
+    rank: int = -1,
+    tile_index: int = -1,
+) -> bytes:
+    """Serialize one frame (header checksum computed here)."""
+    if frame_type not in FRAME_NAMES:
+        raise FrameCodecError(f"unknown frame type {frame_type}")
+    body = _HEADER.pack(
+        FRAME_MAGIC, 0, CODEC_VERSION, frame_type, 0, rank, tile_index, len(payload)
+    )[8:] + payload
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return FRAME_MAGIC + struct.pack(">I", crc) + body
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Parse and verify one frame; raises instead of returning garbage.
+
+    :class:`~repro.errors.FrameCodecError` for structural damage
+    (truncation, bad magic, wrong version/type, length mismatch) and its
+    subclass :class:`~repro.errors.FrameIntegrityError` for CRC failures.
+    """
+    if len(data) < HEADER_BYTES:
+        raise FrameCodecError(
+            f"frame truncated: {len(data)} bytes < {HEADER_BYTES}-byte header"
+        )
+    magic, crc, version, frame_type, reserved, rank, tile_index, length = (
+        _HEADER.unpack_from(data)
+    )
+    if magic != FRAME_MAGIC:
+        raise FrameCodecError(f"bad frame magic {magic!r} (expected {FRAME_MAGIC!r})")
+    if length > MAX_FRAME_BYTES:
+        raise FrameCodecError(f"frame payload length {length} exceeds {MAX_FRAME_BYTES}")
+    if len(data) != HEADER_BYTES + length:
+        raise FrameCodecError(
+            f"frame length mismatch: header promises {length} payload bytes, "
+            f"got {len(data) - HEADER_BYTES}"
+        )
+    actual = zlib.crc32(data[8:]) & 0xFFFFFFFF
+    if actual != crc:
+        raise FrameIntegrityError(
+            f"frame CRC mismatch: header {crc:#010x}, content {actual:#010x}"
+        )
+    if version != CODEC_VERSION:
+        raise FrameCodecError(
+            f"unsupported codec version {version} (this library speaks {CODEC_VERSION})"
+        )
+    if frame_type not in FRAME_NAMES:
+        raise FrameCodecError(f"unknown frame type {frame_type}")
+    if reserved != 0:
+        raise FrameCodecError(f"reserved header field is {reserved}, expected 0")
+    return Frame(
+        frame_type=frame_type,
+        rank=rank,
+        tile_index=tile_index,
+        payload=data[HEADER_BYTES:],
+    )
+
+
+# -- tile payloads -------------------------------------------------------------
+def _encode_array(arr: np.ndarray) -> bytes:
+    dtype_str = arr.dtype.str.encode("ascii")
+    return struct.pack(">B", len(dtype_str)) + dtype_str + arr.tobytes()
+
+
+def encode_tile_payload(
+    rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> bytes:
+    """One tile's (rows, cols, vals) as self-describing bytes.
+
+    Each array carries its own dtype tag, so mixed widths (int32 rows,
+    float64 vals, ...) round-trip exactly; only fixed-width numeric
+    dtypes are legal on the wire.
+    """
+    arrays = [np.asarray(a) for a in (rows, cols, vals)]
+    n = len(arrays[0])
+    for arr in arrays:
+        if arr.ndim != 1:
+            raise FrameCodecError(f"tile arrays must be 1-D, got shape {arr.shape}")
+        if len(arr) != n:
+            raise FrameCodecError(
+                f"tile arrays must share a length; got {n} and {len(arr)}"
+            )
+        if arr.dtype.kind not in _TILE_DTYPE_KINDS or arr.dtype.itemsize == 0:
+            raise FrameCodecError(
+                f"tile dtype {arr.dtype} is not a fixed-width numeric dtype"
+            )
+    return struct.pack(">I", n) + b"".join(_encode_array(a) for a in arrays)
+
+
+def decode_tile_payload(payload: bytes) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_tile_payload`; refuses malformed bytes."""
+    if len(payload) < 4:
+        raise FrameCodecError("tile payload truncated before element count")
+    (n,) = struct.unpack_from(">I", payload)
+    offset = 4
+    arrays = []
+    for which in ("rows", "cols", "vals"):
+        if len(payload) < offset + 1:
+            raise FrameCodecError(f"tile payload truncated before {which} dtype")
+        (tag_len,) = struct.unpack_from(">B", payload, offset)
+        offset += 1
+        tag = payload[offset : offset + tag_len]
+        if len(tag) != tag_len:
+            raise FrameCodecError(f"tile payload truncated inside {which} dtype tag")
+        offset += tag_len
+        try:
+            dtype = np.dtype(tag.decode("ascii"))
+        except (TypeError, UnicodeDecodeError) as exc:
+            raise FrameCodecError(f"invalid {which} dtype tag {tag!r}: {exc}") from exc
+        if dtype.kind not in _TILE_DTYPE_KINDS or dtype.itemsize == 0:
+            raise FrameCodecError(f"illegal wire dtype {dtype} for {which}")
+        nbytes = n * dtype.itemsize
+        raw = payload[offset : offset + nbytes]
+        if len(raw) != nbytes:
+            raise FrameCodecError(
+                f"tile payload truncated inside {which} data "
+                f"({len(raw)} of {nbytes} bytes)"
+            )
+        offset += nbytes
+        arrays.append(np.frombuffer(raw, dtype=dtype).copy())
+    if offset != len(payload):
+        raise FrameCodecError(
+            f"tile payload has {len(payload) - offset} trailing garbage byte(s)"
+        )
+    return arrays[0], arrays[1], arrays[2]
+
+
+# -- control payloads ----------------------------------------------------------
+def encode_control_payload(doc: Dict) -> bytes:
+    """Canonical ASCII JSON for control frames (deterministic bytes)."""
+    try:
+        return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("ascii")
+    except (TypeError, ValueError, UnicodeEncodeError) as exc:
+        raise FrameCodecError(f"control payload is not ASCII-JSON-able: {exc}") from exc
+
+
+def decode_control_payload(payload: bytes) -> Dict:
+    """Inverse of :func:`encode_control_payload`."""
+    try:
+        doc = json.loads(payload.decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameCodecError(f"invalid control payload: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise FrameCodecError(
+            f"control payload must decode to an object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+__all__ = [
+    "CODEC_VERSION",
+    "FRAME_ABORT",
+    "FRAME_COMMIT",
+    "FRAME_FINALIZE",
+    "FRAME_MAGIC",
+    "FRAME_NAMES",
+    "FRAME_OPEN",
+    "FRAME_RESULT",
+    "FRAME_SKIP",
+    "FRAME_TILE",
+    "Frame",
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "decode_control_payload",
+    "decode_frame",
+    "decode_tile_payload",
+    "encode_control_payload",
+    "encode_frame",
+    "encode_tile_payload",
+]

@@ -98,6 +98,7 @@ def generate_to_disk(
     crash_hook: Callable[[int, int], None] | None = None,
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    transport: str | None = None,
     memory_entries: int | None = None,
 ) -> StreamSummary:
     """Generate ``design`` rank by rank, writing per-rank TSV shards
@@ -137,6 +138,15 @@ def generate_to_disk(
         ``hook(rank, completed_count)`` invoked after each rank is
         durably committed — :class:`~repro.runtime.CrashInjector` raises
         from here to simulate a mid-run death in tests.
+    ``transport``
+        ``None`` (the default) writes shards directly.  A transport name
+        (``"inproc"``, ``"socket"``) routes every tile through
+        :mod:`repro.net` instead: the engine streams frames over the
+        transport to a :class:`~repro.net.TileCollector` feeding this
+        same :class:`~repro.engine.sinks.ShardSink`, and the written
+        shards, ``manifest.json``, and resume state are byte-identical
+        to the direct path — the single-machine rehearsal of the
+        distributed collection deployment.
     ``memory_entries``
         Deprecated alias of ``memory_budget_entries`` (warns).
 
@@ -162,16 +172,31 @@ def generate_to_disk(
         # One-rank batches: the sink commits after every rank and at
         # most one rank's results are held between commits.
         scheduler = StaticScheduler(batch_size=1)
-    result = engine_execute(
-        plan,
-        sink,
-        backend=backend,
-        scheduler=scheduler,
-        metrics=metrics,
-        tracer=tracer,
-        max_retries=max_retries,
-        failure_injector=failure_injector,
-    )
+    if transport is not None:
+        from repro.net import execute_over_transport
+
+        result = execute_over_transport(
+            plan,
+            sink,
+            transport=transport,
+            backend=backend,
+            scheduler=scheduler,
+            metrics=metrics,
+            tracer=tracer,
+            max_retries=max_retries,
+            failure_injector=failure_injector,
+        )
+    else:
+        result = engine_execute(
+            plan,
+            sink,
+            backend=backend,
+            scheduler=scheduler,
+            metrics=metrics,
+            tracer=tracer,
+            max_retries=max_retries,
+            failure_injector=failure_injector,
+        )
     return result.sink_result
 
 

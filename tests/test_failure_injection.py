@@ -260,3 +260,135 @@ class TestEndToEndReportCatches:
         report = validate_design(DESIGN, graph=drop_one_edge(DESIGN.realize()))
         assert not report.passed
         assert not report.edges_match
+
+
+class TestTransportChaos:
+    """Frame-level faults on the collection wire: a transported run must
+    either produce byte-identical output or fail with a *typed* transport
+    error that leaves the inner ShardSink resumable — never silently
+    lose or corrupt edges.
+
+    Frame send order is deterministic here (3 ranks, one tile each):
+    0=OPEN, 1=TILE r0, 2=COMMIT r0, 3=TILE r1, 4=COMMIT r1, ... so each
+    test aims its fault at a known frame.
+    """
+
+    N_RANKS = 3
+
+    def _run_with_faults(self, tmp_path, **fault_kwargs):
+        from repro.engine import ShardSink, plan_from_design
+        from repro.net import FaultyTransport, InProcessTransport, execute_over_transport
+
+        plan = plan_from_design(DESIGN, self.N_RANKS)
+        producer, collector_end = InProcessTransport.pair()
+        faulty = FaultyTransport(producer, **fault_kwargs)
+        return lambda: execute_over_transport(
+            plan,
+            ShardSink(tmp_path),
+            transport=(faulty, collector_end),
+            recv_timeout_s=5.0,
+        )
+
+    def _assert_failed_then_resumable(self, tmp_path):
+        """The chaos run left a resumable checkpoint: a retry converges
+        to output byte-identical to a never-faulted run."""
+        from repro.runtime.checkpoint import RunManifest
+
+        assert RunManifest.load(tmp_path).status in ("failed", "in_progress")
+        summary = generate_to_disk(DESIGN, self.N_RANKS, tmp_path, resume=True)
+        clean = tmp_path.parent / "clean"
+        generate_to_disk(DESIGN, self.N_RANKS, clean)
+        for rank in range(self.N_RANKS):
+            mine = (tmp_path / f"edges.{rank}.tsv").read_bytes()
+            theirs = (clean / f"edges.{rank}.tsv").read_bytes()
+            assert mine == theirs
+        assert summary.total_edges == DESIGN.num_edges
+
+    def test_dropped_tile_frame_detected_and_resumable(self, tmp_path):
+        from repro.errors import FrameSequenceError, TransportError
+
+        with pytest.raises(FrameSequenceError) as excinfo:
+            self._run_with_faults(tmp_path, drop={1})()
+        assert isinstance(excinfo.value, TransportError)
+        self._assert_failed_then_resumable(tmp_path)
+
+    def test_duplicated_tile_frame_detected(self, tmp_path):
+        from repro.errors import FrameSequenceError
+
+        with pytest.raises(FrameSequenceError, match="duplicated, or reordered"):
+            self._run_with_faults(tmp_path, duplicate={1})()
+        self._assert_failed_then_resumable(tmp_path)
+
+    def test_reordered_frames_detected(self, tmp_path):
+        from repro.errors import FrameSequenceError
+
+        # Frame 1 (TILE r0) held back and sent after frame 2 (COMMIT r0):
+        # the commit then declares a tile that has not arrived.
+        with pytest.raises(FrameSequenceError):
+            self._run_with_faults(tmp_path, swap={1})()
+        self._assert_failed_then_resumable(tmp_path)
+
+    def test_corrupted_frame_body_is_an_integrity_error(self, tmp_path):
+        from repro.errors import FrameIntegrityError
+
+        with pytest.raises(FrameIntegrityError, match="CRC"):
+            self._run_with_faults(tmp_path, corrupt={1})()
+        self._assert_failed_then_resumable(tmp_path)
+
+    def test_corrupted_magic_is_a_codec_error(self, tmp_path):
+        from repro.errors import FrameCodecError, FrameIntegrityError
+
+        # Frame 0 is the OPEN handshake: the run dies before the inner
+        # sink ever opens, so no checkpoint exists — a clean rerun into
+        # the same directory must just work.
+        with pytest.raises(FrameCodecError) as excinfo:
+            self._run_with_faults(tmp_path, corrupt={0}, corrupt_offset=0)()
+        assert not isinstance(excinfo.value, FrameIntegrityError)
+        assert not (tmp_path / "manifest.json").exists()
+        summary = generate_to_disk(DESIGN, self.N_RANKS, tmp_path)
+        assert summary.total_edges == DESIGN.num_edges
+
+    def test_fault_free_faulty_transport_is_transparent(self, tmp_path):
+        # The adversary with no faults configured must not perturb bytes.
+        result = self._run_with_faults(tmp_path)()
+        assert result.sink_result.total_edges == DESIGN.num_edges
+        clean = tmp_path.parent / "clean"
+        generate_to_disk(DESIGN, self.N_RANKS, clean)
+        for rank in range(self.N_RANKS):
+            assert (tmp_path / f"edges.{rank}.tsv").read_bytes() == (
+                clean / f"edges.{rank}.tsv"
+            ).read_bytes()
+
+    def test_collector_crash_mid_stream_leaves_resumable_shards(self, tmp_path):
+        from repro.engine import ShardSink, plan_from_design
+        from repro.net import execute_over_transport
+        from repro.runtime.checkpoint import CrashInjector, RunManifest, SimulatedCrash
+
+        plan = plan_from_design(DESIGN, self.N_RANKS)
+        sink = ShardSink(tmp_path, crash_hook=CrashInjector(2))
+        with pytest.raises(SimulatedCrash):
+            execute_over_transport(
+                plan, sink, transport="inproc", recv_timeout_s=5.0
+            )
+        # Two ranks were durably committed before the collector died.
+        manifest = RunManifest.load(tmp_path)
+        assert len(manifest.completed_ranks()) == 2
+        self._assert_failed_then_resumable(tmp_path)
+
+    def test_producer_abort_reaches_collector_as_failed_manifest(self, tmp_path):
+        from repro.engine import ShardSink, plan_from_design
+        from repro.net import execute_over_transport
+        from repro.runtime.checkpoint import STATUS_FAILED, RunManifest
+
+        plan = plan_from_design(DESIGN, self.N_RANKS)
+        with pytest.raises(FatalRankError):
+            execute_over_transport(
+                plan,
+                ShardSink(tmp_path),
+                transport="inproc",
+                recv_timeout_s=5.0,
+                failure_injector=FailureInjector([1], fatal=True),
+            )
+        # The ABORT frame tore the remote sink down cleanly.
+        assert RunManifest.load(tmp_path).status == STATUS_FAILED
+        self._assert_failed_then_resumable(tmp_path)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark smoke target: ``python tools/bench_smoke.py``.
 
-Five cheap CI guards:
+Six cheap CI guards:
 
 1. the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot test
    only), asserting a machine-readable metrics JSON was produced — the
@@ -19,11 +19,16 @@ Five cheap CI guards:
    thread backend, run under both schedulers, asserting the work queue
    beats the static path on wall-clock, beats it on worker utilization
    (with an absolute floor), and produces byte-identical shards and
-   manifest — the completion-driven path stays both faster and exact.
+   manifest — the completion-driven path stays both faster and exact;
+6. a streamed run collected over the ``socket`` transport
+   (``repro.net``), asserting the collected shard directory — shards
+   *and* ``manifest.json`` — is byte-identical to a direct
+   ``ShardSink`` run and that frames actually crossed the wire — the
+   distributed path stays exact.
 
-With ``--artifact-dir`` the tiled and straggler runs' metrics snapshots
-are written there for CI to upload.  The full benchmark suite is run
-separately.
+With ``--artifact-dir`` the tiled, straggler, and socket runs' metrics
+snapshots are written there for CI to upload.  The full benchmark
+suite is run separately.
 """
 
 from __future__ import annotations
@@ -332,6 +337,70 @@ def smoke_degree_reader(root: Path) -> int:
     return 0
 
 
+def smoke_socket_sink(root: Path, artifact_dir: Path | None) -> int:
+    """Stream the same design directly and over a socket transport; the
+    collected directory must be byte-for-byte the direct one."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.design import PowerLawDesign
+    from repro.parallel import generate_to_disk, verify_shards
+    from repro.runtime import MetricsRegistry
+
+    design = PowerLawDesign([3, 4, 5], "center")
+    n_ranks = 4
+    metrics = MetricsRegistry()
+    with tempfile.TemporaryDirectory(prefix="repro-net-smoke-") as tmp:
+        direct, collected = Path(tmp) / "direct", Path(tmp) / "collected"
+        generate_to_disk(design, n_ranks, direct)
+        generate_to_disk(
+            design, n_ranks, collected, transport="socket", metrics=metrics
+        )
+        for name in [f"edges.{r}.tsv" for r in range(n_ranks)] + ["manifest.json"]:
+            if (direct / name).read_bytes() != (collected / name).read_bytes():
+                print(
+                    f"bench-smoke: {name} differs between direct and "
+                    "socket-collected runs",
+                    file=sys.stderr,
+                )
+                return 1
+        verification = verify_shards(collected)
+        if not verification.passed:
+            print(
+                f"bench-smoke: collected shards failed verification:\n"
+                f"{verification.to_text()}",
+                file=sys.stderr,
+            )
+            return 1
+    snapshot = metrics.snapshot()
+    frames = snapshot["counters"].get("net.frames_sent", 0)
+    sent_bytes = snapshot["counters"].get("net.bytes_sent", 0)
+    # OPEN + FINALIZE + per rank at least (TILE, COMMIT).
+    if frames < 2 + 2 * n_ranks:
+        print(
+            f"bench-smoke: only {frames} frames crossed the socket for "
+            f"{n_ranks} ranks — collection did not engage",
+            file=sys.stderr,
+        )
+        return 1
+    snapshot["run"] = {
+        "command": "bench-smoke socket-sink",
+        "transport": "socket",
+        "ranks": n_ranks,
+        "frames_sent": frames,
+        "bytes_sent": sent_bytes,
+    }
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        out = artifact_dir / "net_metrics.json"
+        out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"bench-smoke: wrote socket-sink metrics to {out}", file=sys.stderr)
+    print(
+        f"bench-smoke: OK — socket-collected run byte-identical to direct "
+        f"({frames:.0f} frames, {sent_bytes:,.0f} bytes on the wire)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -400,6 +469,7 @@ def main(argv: list[str] | None = None) -> int:
         lambda: smoke_tiled_budget(root, args.memory_budget, args.artifact_dir),
         lambda: smoke_degree_reader(root),
         lambda: smoke_straggler_queue(root, args.artifact_dir),
+        lambda: smoke_socket_sink(root, args.artifact_dir),
     ):
         code = guard()
         if code != 0:
