@@ -40,6 +40,7 @@ Subpackages
 
 from repro._version import __version__
 from repro.design import DegreeDistribution, PowerLawDesign, design_for_scale
+from repro.engine import RunConfig
 from repro.errors import ReproError
 from repro.graphs import Graph, StarGraph, SelfLoop
 from repro.kron import KroneckerChain, kron, kron_chain
@@ -72,6 +73,7 @@ __all__ = [
     "KroneckerChain",
     "kron",
     "kron_chain",
+    "RunConfig",
     "VirtualCluster",
     "ParallelKroneckerGenerator",
     "generate_design_parallel",

@@ -85,6 +85,16 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         help="per-rank memory budget in matrix entries; blocks larger than "
         "this are generated in bounded-memory tiles",
     )
+    from repro.kron import KERNEL_CHOICES
+
+    p.add_argument(
+        "--kernel",
+        choices=list(KERNEL_CHOICES),
+        default="auto",
+        help="generation kernel: 'numpy' (the portable oracle), 'native' "
+        "(numba-jitted, byte-identical output, fails without numba), or "
+        "'auto' to use native when available",
+    )
 
 
 def _resolve_scheduler(args: argparse.Namespace):
@@ -95,6 +105,20 @@ def _resolve_scheduler(args: argparse.Namespace):
 
         return WorkQueueScheduler()
     return None
+
+
+def _run_config_from_args(args: argparse.Namespace, **overrides):
+    """Fold the shared runtime flags into a :class:`repro.RunConfig`."""
+    from repro.engine import RunConfig
+
+    fields = dict(
+        backend=args.backend,
+        scheduler=_resolve_scheduler(args),
+        memory_budget_entries=args.memory_budget,
+        kernel=getattr(args, "kernel", "auto"),
+    )
+    fields.update(overrides)
+    return RunConfig(**fields)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -250,7 +274,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
         return _cmd_generate_stream(args, design)
     if args.sink == "degrees":
         return _cmd_generate_degrees(args, design)
-    cluster = VirtualCluster(n_ranks=args.ranks, memory_entries=args.memory_budget)
+    cluster = VirtualCluster(
+        n_ranks=args.ranks, memory_budget_entries=args.memory_budget
+    )
     metrics = MetricsRegistry()
     progress = ConsoleProgress(args.ranks)
     gen = ParallelKroneckerGenerator(
@@ -262,6 +288,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         rank_timeout_s=args.rank_timeout,
         metrics=metrics,
         events=progress.events(),
+        kernel=args.kernel,
     )
     blocks = gen.generate_blocks()
     audit = audit_partition(gen.plan, blocks, design.raw_nnz)
@@ -302,14 +329,14 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
         design,
         args.ranks,
         args.out,
-        memory_budget_entries=args.memory_budget,
-        resume=args.resume,
-        scramble_seed=args.scramble_seed,
-        backend=args.backend,
-        scheduler=_resolve_scheduler(args),
+        config=_run_config_from_args(
+            args,
+            resume=args.resume,
+            scramble_seed=args.scramble_seed,
+            transport=transport,
+        ),
         max_retries=args.max_retries,
         metrics=metrics,
-        transport=transport,
     )
     reused = summary.skipped_ranks
     print(
@@ -348,11 +375,7 @@ def _cmd_generate_degrees(args: argparse.Namespace, design: PowerLawDesign) -> i
     from repro.validate import check_degree_distribution
 
     measured = streamed_degree_distribution(
-        design,
-        args.ranks,
-        memory_budget_entries=args.memory_budget,
-        backend=args.backend,
-        scheduler=_resolve_scheduler(args),
+        design, args.ranks, config=_run_config_from_args(args)
     )
     check = check_degree_distribution(measured, design.degree_distribution)
     print(
@@ -391,9 +414,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
     study = run_scaling_study(
         design.to_chain(),
         args.ranks,
-        memory_budget_entries=args.memory_budget,
-        backend=args.backend,
-        scheduler=_resolve_scheduler(args),
+        config=_run_config_from_args(args),
         max_retries=args.max_retries,
         rank_timeout_s=args.rank_timeout,
         metrics=metrics,

@@ -29,6 +29,7 @@ per-rank memory is ``max(budget, largest single Bp row × nnz(C))``
 rather than ``nnz(Bp) · nnz(C)``.
 """
 
+from repro.engine.config import RunConfig, resolve_run_config
 from repro.engine.execute import (
     EngineResult,
     TaskOutcome,
@@ -57,6 +58,8 @@ from repro.engine.sinks import (
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET_ENTRIES",
+    "RunConfig",
+    "resolve_run_config",
     "GenerationPlan",
     "RankTask",
     "chain_fingerprint",

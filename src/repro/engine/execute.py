@@ -51,9 +51,10 @@ from __future__ import annotations
 import statistics
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from repro.engine.config import _UNSET, RunConfig, resolve_run_config
 from repro.engine.plan import GenerationPlan, RankTask
 from repro.engine.scheduler import StaticScheduler
 from repro.engine.sinks import Sink
@@ -63,6 +64,7 @@ from repro.errors import (
     RetryExhaustedError,
     StorageError,
 )
+from repro.kron import _fast
 from repro.kron.tiles import kron_tiles
 from repro.runtime.events import RankEvents
 from repro.runtime.executor import ExecutionResult, RankExecutor, RankReport
@@ -76,16 +78,25 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class _RankWork:
-    """Everything one worker invocation needs (picklable)."""
+    """Everything one worker invocation needs (picklable).
+
+    ``c`` is the materialized right factor — or ``None`` when the run
+    moves it through shared memory, in which case ``c_ref`` points at
+    the coordinator-owned segment and the worker attaches (cached per
+    process, zero-copy).  ``kernel`` is already resolved to a concrete
+    implementation (never ``"auto"``) by :func:`execute`.
+    """
 
     rank: int
     b_local: "COOMatrix"
     col_base: int
-    c: "COOMatrix"
+    c: Optional["COOMatrix"]
     loop_vertex: Optional[int]
     scramble: Optional["ScramblePermutation"]
     max_tile_entries: Optional[int]
     consumer_factory: Callable
+    kernel: str = "numpy"
+    c_ref: object = None
 
 
 @dataclass(frozen=True)
@@ -169,14 +180,19 @@ def _run_rank_task(work: _RankWork) -> TaskOutcome:
     state is aborted before the error propagates.
     """
     t0 = time.perf_counter()
+    c = work.c
+    if c is None:
+        from repro.parallel.shm import attach_shared_coo
+
+        c = attach_shared_coo(work.c_ref)
     consumer = work.consumer_factory(work.rank)
     nnz = 0
     tiles = 0
     peak = 0
     try:
-        offset = work.col_base * work.c.shape[1]
+        offset = work.col_base * c.shape[1]
         for rows, cols, vals in kron_tiles(
-            work.b_local, work.c, work.max_tile_entries
+            work.b_local, c, work.max_tile_entries, kernel=work.kernel
         ):
             tiles += 1
             # Peak is the pre-transform tile size: the memory actually
@@ -211,6 +227,7 @@ def execute(
     plan: GenerationPlan,
     sink: Sink,
     *,
+    config: RunConfig | None = None,
     backend=None,
     executor: RankExecutor | None = None,
     scheduler=None,
@@ -223,6 +240,13 @@ def execute(
 ) -> EngineResult:
     """Run ``plan`` through ``sink`` — the one generation loop.
 
+    ``config`` is the preferred way to shape the run
+    (:class:`~repro.engine.config.RunConfig`): ``execute`` honours its
+    ``backend``, ``scheduler``, and ``kernel`` fields (a non-``"auto"``
+    config kernel overrides the plan's); the remaining fields belong to
+    the higher-level drivers and raise here.  The individual ``backend``
+    / ``scheduler`` keywords are deprecated aliases (they warn once).
+
     ``executor`` overrides the backend/retry/timeout arguments when
     given; ``scheduler`` defaults to a single all-task batch
     (:class:`~repro.engine.scheduler.StaticScheduler`).  A scheduler
@@ -233,6 +257,23 @@ def execute(
     ``injector(rank, attempt)`` inside the worker, before the kernel —
     the adversary hook the failure tests drive.
     """
+    cfg = resolve_run_config(
+        "execute",
+        config,
+        unsupported=(
+            "memory_budget_entries",
+            "transport",
+            "checkpoint_dir",
+            "resume",
+            "scramble_seed",
+        ),
+        backend=_UNSET if backend is None else backend,
+        scheduler=_UNSET if scheduler is None else scheduler,
+    )
+    backend = cfg.backend
+    scheduler = cfg.scheduler
+    if cfg.kernel != "auto" and cfg.kernel != plan.kernel:
+        plan = replace(plan, kernel=cfg.kernel)
     if executor is None:
         from repro.parallel.backends import resolve_backend
 
@@ -252,6 +293,32 @@ def execute(
         metrics.gauge("engine.peak_tile_entries").set(0)
         metrics.gauge("engine.queue_depth").set(0)
     streaming = bool(getattr(scheduler, "streaming", False))
+    # Resolve the kernel once, coordinator-side: every worker gets a
+    # concrete "numpy"/"native" (a strict "native" request fails here,
+    # before any work is dispatched), and a native run compiles now so
+    # forked workers inherit the compiled code.
+    kernel = _fast.resolve_kernel(plan.kernel)
+    if kernel == "native":
+        _fast.warmup_native()
+    # Zero-copy tile handoff: for sinks whose payload IS the triples
+    # (payload_kind == "triples") on a backend advertising
+    # ``zero_copy_tiles``, tiles move through a coordinator-owned
+    # shared-memory pool instead of being pickled back.  The pool's
+    # lifecycle is tied to this call (see the ``finally`` below).
+    pool = None
+    c_ref = None
+    if (
+        getattr(sink, "payload_kind", "opaque") == "triples"
+        and getattr(executor.backend, "zero_copy_tiles", False)
+    ):
+        from repro.parallel.shm import (
+            SharedTilePool,
+            ShmConsumerFactory,
+            ShmTriplesHandle,
+        )
+
+        pool = SharedTilePool()
+        c_ref = pool.share_coo(plan.c_matrix)
     skipped = tuple(sorted(sink.open(plan, metrics=metrics)))
     t0 = time.perf_counter()
     skip_set = set(skipped)
@@ -264,19 +331,34 @@ def execute(
     queue_depth_peak = 0
 
     def make_work(t: RankTask) -> _RankWork:
+        if pool is not None:
+            # "triples" promises the consumer just accumulates consumed
+            # tiles, so the engine may substitute the shared-memory
+            # consumer for the sink's own.
+            factory = ShmConsumerFactory(
+                pool.allocate_output(t.estimated_entries)
+            )
+        else:
+            factory = sink.consumer_factory(t)
         return _RankWork(
             rank=t.rank,
             b_local=t.assignment.b_local,
             col_base=t.assignment.col_base,
-            c=plan.c_matrix,
+            c=None if pool is not None else plan.c_matrix,
             loop_vertex=plan.loop_vertex,
             scramble=plan.scramble,
             max_tile_entries=plan.memory_budget_entries,
-            consumer_factory=sink.consumer_factory(t),
+            consumer_factory=factory,
+            kernel=kernel,
+            c_ref=c_ref,
         )
 
     def commit(task: RankTask, outcome: TaskOutcome) -> None:
         nonlocal peak
+        if pool is not None and isinstance(outcome.payload, ShmTriplesHandle):
+            # The one owning copy of the zero-copy path: materialize the
+            # triples and release the segment before the sink sees them.
+            outcome = replace(outcome, payload=pool.take(outcome.payload))
         sink.commit(task, outcome)
         stats.append(
             TaskStats(
@@ -399,9 +481,20 @@ def execute(
         # Storage is unusable or a rank is unrecoverable: let the sink
         # leave clean state behind (ShardSink commits a `failed`
         # manifest), then re-raise for the caller.  SimulatedCrash is a
-        # BaseException and deliberately bypasses this.
+        # BaseException and deliberately bypasses this (but not the
+        # pool shutdown below — coordinator-side segment reclaim is
+        # what the resource tracker would do for a real SIGKILL).
         sink.abort(exc)
         raise
+    finally:
+        if pool is not None:
+            reclaimed = pool.shutdown()
+            # The shared C segment is released here by design; anything
+            # else still outstanding is a leaked output segment.
+            c_name = c_ref.triples.name
+            leaked = [n for n in reclaimed if n != c_name]
+            if metrics is not None:
+                metrics.gauge("engine.shm_leaked").set(len(leaked))
     elapsed = time.perf_counter() - t0
     if metrics is not None:
         if streaming:

@@ -41,7 +41,7 @@ if TYPE_CHECKING:  # annotation-only; see module note on circularity
     from repro.sparse.coo import COOMatrix
 
 #: Default per-rank memory budget (entries), matching the historical
-#: ``VirtualCluster.memory_entries`` default.
+#: ``VirtualCluster.memory_budget_entries`` default.
 DEFAULT_MEMORY_BUDGET_ENTRIES = 50_000_000
 
 
@@ -73,6 +73,11 @@ class GenerationPlan:
     scramble_seed: Optional[int] = None
     expected_edges: Optional[int] = None
     expected_nnz: Optional[int] = None
+    #: Generation kernel request: ``"auto"`` (native when available),
+    #: ``"numpy"`` (the oracle), or ``"native"`` (strict — raises
+    #: without numba).  ``execute`` resolves ``"auto"`` to a concrete
+    #: kernel once, coordinator-side, so every worker agrees.
+    kernel: str = "auto"
     # Pre-materialized C (adapters that already hold it avoid a second
     # materialization); excluded from equality/repr like any cache.
     _c: Optional["COOMatrix"] = field(default=None, repr=False, compare=False)
@@ -141,6 +146,7 @@ def plan_from_partition(
     scramble_seed: Optional[int] = None,
     expected_edges: Optional[int] = None,
     expected_nnz: Optional[int] = None,
+    kernel: str = "auto",
     c: Optional["COOMatrix"] = None,
 ) -> GenerationPlan:
     """Wrap an existing partition as a plan (the adapter entry point)."""
@@ -163,6 +169,7 @@ def plan_from_partition(
         scramble_seed=scramble_seed,
         expected_edges=expected_edges,
         expected_nnz=expected_nnz,
+        kernel=kernel,
         _c=c,
     )
 
@@ -173,6 +180,7 @@ def plan_from_chain(
     *,
     split_index: Optional[int] = None,
     allow_empty_ranks: bool = False,
+    kernel: str = "auto",
 ) -> GenerationPlan:
     """Plan a bare factor chain on a virtual cluster."""
     from repro.parallel.partition import partition_bc
@@ -183,11 +191,12 @@ def plan_from_chain(
     return plan_from_partition(
         partition,
         num_vertices=chain.num_vertices,
-        memory_budget_entries=cluster.memory_entries,
+        memory_budget_entries=cluster.memory_budget_entries,
         fingerprint=chain_fingerprint(
             chain, n_ranks=cluster.n_ranks, split_index=partition.split_index
         ),
         expected_nnz=chain.nnz,
+        kernel=kernel,
     )
 
 
@@ -200,6 +209,7 @@ def plan_from_design(
     split_index: Optional[int] = None,
     remove_loop: bool = True,
     allow_empty_ranks: bool = False,
+    kernel: str = "auto",
 ) -> GenerationPlan:
     """Plan a :class:`~repro.design.star_design.PowerLawDesign` run.
 
@@ -212,7 +222,9 @@ def plan_from_design(
     from repro.parallel.partition import partition_bc
 
     chain = design.to_chain()
-    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_budget_entries)
+    cluster = VirtualCluster(
+        n_ranks=n_ranks, memory_budget_entries=memory_budget_entries
+    )
     partition = partition_bc(
         chain, cluster, split_index=split_index, allow_empty=allow_empty_ranks
     )
@@ -227,4 +239,5 @@ def plan_from_design(
         scramble_seed=scramble_seed,
         expected_edges=design.num_edges,
         expected_nnz=chain.nnz,
+        kernel=kernel,
     )

@@ -127,11 +127,24 @@ class StreamingDegreeAccumulator:
 def _serialize_tile(
     rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
 ) -> Tuple[bytes, int]:
-    """One tile as TSV bytes (the exact historical shard line format)."""
+    """One tile as TSV bytes (the exact historical shard line format).
+
+    This f-string path is the serialization *oracle*: the native encoder
+    (:func:`repro.kron._fast.encode_tile_native`) must produce identical
+    bytes, and the kernel byte-identity tests compare against this."""
     lines = [
         f"{int(r)}\t{int(c)}\t{int(v)}\n" for r, c, v in zip(rows, cols, vals)
     ]
     return "".join(lines).encode("ascii"), len(lines)
+
+
+def _serialize_tile_native(
+    rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> Tuple[bytes, int]:
+    """Compiled TSV encode — byte-identical to :func:`_serialize_tile`."""
+    from repro.kron._fast import encode_tile_native
+
+    return encode_tile_native(rows, cols, vals), len(rows)
 
 
 def _open_shard_writer(path: Path) -> ShardWriter:
@@ -184,10 +197,15 @@ class ShardConsumer:
     instead of burning its retry budget on a full disk.
     """
 
-    def __init__(self, directory: str, filename: str, rank: int) -> None:
+    def __init__(
+        self, directory: str, filename: str, rank: int, kernel: str = "numpy"
+    ) -> None:
         self.filename = filename
         self.rank = rank
         self._nnz = 0
+        self._serialize = (
+            _serialize_tile_native if kernel == "native" else _serialize_tile
+        )
         try:
             self._writer = _open_shard_writer(Path(directory) / filename)
         except OSError as exc:
@@ -196,7 +214,7 @@ class ShardConsumer:
             ) from exc
 
     def consume(self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> None:
-        data, count = _serialize_tile(rows, cols, vals)
+        data, count = self._serialize(rows, cols, vals)
         try:
             self._writer.write(data)
         except OSError as exc:
@@ -229,9 +247,12 @@ class ShardConsumer:
 class _ShardConsumerFactory:
     directory: str
     prefix: str
+    kernel: str = "numpy"
 
     def __call__(self, rank: int) -> ShardConsumer:
-        return ShardConsumer(self.directory, f"{self.prefix}.{rank}.tsv", rank)
+        return ShardConsumer(
+            self.directory, f"{self.prefix}.{rank}.tsv", rank, kernel=self.kernel
+        )
 
 
 class DegreeConsumer:
@@ -298,6 +319,12 @@ class Sink:
 
     _aborted: bool = False
     _finalized: object = _UNFINALIZED
+
+    #: What the worker payload *is*.  ``"triples"`` promises the payload
+    #: is a ``(rows, cols, vals)`` int64 tuple, which lets the engine
+    #: route it through the zero-copy shared-memory pool on capable
+    #: backends; ``"opaque"`` payloads always travel by pickle.
+    payload_kind: str = "opaque"
 
     def open(
         self, plan: "GenerationPlan", *, metrics: MetricsRegistry | None = None
@@ -385,6 +412,8 @@ class AssemblyResult:
 class AssemblySink(Sink):
     """Hold every rank's triples in memory (the validating path)."""
 
+    payload_kind = "triples"
+
     def __init__(self) -> None:
         self._blocks: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
@@ -426,6 +455,7 @@ class ShardSink(Sink):
         self._manifest: Optional[RunManifest] = None
         self._metrics: Optional[MetricsRegistry] = None
         self._completed = 0
+        self._kernel = "numpy"
         self.manifest_path: Optional[Path] = None
 
     # -- manifest plumbing ---------------------------------------------------
@@ -462,6 +492,12 @@ class ShardSink(Sink):
                 "ShardSink needs a plan with a fingerprint (the manifest "
                 "records it); build the plan with plan_from_design/chain"
             )
+        from repro.kron._fast import resolve_kernel
+
+        # Resolved once, coordinator-side, so every worker's consumer
+        # uses the same serializer (a strict "native" request fails
+        # here, before any shard is touched).
+        self._kernel = resolve_kernel(plan.kernel)
         self._metrics = metrics
         self.directory.mkdir(parents=True, exist_ok=True)
         if self.resume and RunManifest.exists(self.directory):
@@ -482,7 +518,9 @@ class ShardSink(Sink):
         return skipped
 
     def consumer_factory(self, task: "RankTask") -> _ShardConsumerFactory:
-        return _ShardConsumerFactory(str(self.directory), self.prefix)
+        return _ShardConsumerFactory(
+            str(self.directory), self.prefix, kernel=self._kernel
+        )
 
     def _commit(self, task: "RankTask", outcome: "TaskOutcome") -> None:
         record: ShardRecord = outcome.payload

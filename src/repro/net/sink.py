@@ -485,6 +485,7 @@ def execute_over_transport(
     sink: Sink,
     *,
     transport: "str | Tuple[TileTransport, TileTransport]" = "inproc",
+    config=None,
     backend=None,
     scheduler=None,
     metrics: Optional[MetricsRegistry] = None,
@@ -500,7 +501,11 @@ def execute_over_transport(
     The collector (feeding the inner ``sink``) runs on a thread; the
     engine runs here with a :class:`TransportSink`.  ``transport`` is a
     registered name (``"inproc"``, ``"socket"``) or an explicit
-    ``(producer, collector)`` endpoint pair.  The returned
+    ``(producer, collector)`` endpoint pair.  ``config`` is the
+    engine's :class:`~repro.engine.config.RunConfig` (backend,
+    scheduler, kernel), forwarded to
+    :func:`~repro.engine.execute.execute` — the individual ``backend``
+    / ``scheduler`` keywords are its deprecated aliases.  The returned
     :class:`~repro.engine.execute.EngineResult` carries the inner sink's
     result (via the RESULT frame), so callers see exactly what a local
     run would have produced.
@@ -524,6 +529,7 @@ def execute_over_transport(
         result = execute(
             plan,
             net_sink,
+            config=config,
             backend=backend,
             scheduler=scheduler,
             metrics=metrics,

@@ -179,6 +179,13 @@ class MultiprocessingBackend:
     ``as_completed`` need workers that outlive a single call, so they
     lazily start a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
     that is released by ``shutdown()``.
+
+    ``zero_copy`` (default True) advertises the ``zero_copy_tiles``
+    capability: for triples-payload sinks the engine then moves tiles
+    through a :class:`~repro.parallel.shm.SharedTilePool` instead of
+    pickling them across the process boundary.  Output bytes are
+    identical either way; set ``zero_copy=False`` to force the
+    historical pickled path (the bench baseline does).
     """
 
     name = "multiprocessing"
@@ -187,10 +194,12 @@ class MultiprocessingBackend:
         self,
         processes: int | None = None,
         start_method: str | None = None,
+        zero_copy: bool = True,
     ) -> None:
         import multiprocessing as mp
 
         self.processes = processes or max(1, (os.cpu_count() or 1))
+        self.zero_copy_tiles = bool(zero_copy)
         if start_method is None:
             start_method = default_start_method()
         elif start_method not in mp.get_all_start_methods():

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.config import _UNSET, RunConfig, resolve_run_config
 from repro.engine.execute import execute as engine_execute
 from repro.engine.plan import chain_fingerprint, plan_from_partition
 from repro.engine.scheduler import StaticScheduler
@@ -98,6 +99,10 @@ class ParallelKroneckerGenerator:
         (:class:`~repro.engine.scheduler.StaticScheduler`), a
         :class:`~repro.engine.scheduler.WorkQueueScheduler` streams
         ranks to whichever worker frees up (output identical).
+    kernel:
+        Generation kernel request (``"auto"``/``"numpy"``/``"native"``),
+        recorded on the plan; ``execute`` resolves ``"auto"`` once per
+        run.
     """
 
     def __init__(
@@ -115,11 +120,13 @@ class ParallelKroneckerGenerator:
         executor: RankExecutor | None = None,
         scheduler=None,
         failure_injector: Callable[[int, int], None] | None = None,
+        kernel: str = "auto",
     ) -> None:
         self.chain = chain
         self.cluster = cluster
         self.backend = resolve_backend(backend)
         self.scheduler = scheduler
+        self.kernel = kernel
         self.plan: PartitionPlan = partition_bc(chain, cluster, split_index=split_index)
         self._c_matrix = self.plan.c_chain.materialize()
         self.metrics = metrics
@@ -145,7 +152,7 @@ class ParallelKroneckerGenerator:
         Work routes through :func:`repro.engine.execute.execute` with an
         :class:`~repro.engine.sinks.AssemblySink` and a single all-rank
         batch (this generator's historical shape); the cluster's
-        ``memory_entries`` doubles as the kernel tile budget, so a block
+        ``memory_budget_entries`` doubles as the kernel tile budget, so a block
         larger than the budget is produced in bounded row-slices and the
         returned triples are byte-identical either way.
         """
@@ -153,20 +160,21 @@ class ParallelKroneckerGenerator:
         plan = plan_from_partition(
             self.plan,
             num_vertices=self.chain.num_vertices,
-            memory_budget_entries=self.cluster.memory_entries,
+            memory_budget_entries=self.cluster.memory_budget_entries,
             fingerprint=chain_fingerprint(
                 self.chain,
                 n_ranks=self.cluster.n_ranks,
                 split_index=self.plan.split_index,
             ),
             expected_nnz=self.chain.nnz,
+            kernel=self.kernel,
             c=c,
         )
         result = engine_execute(
             plan,
             AssemblySink(),
             executor=self.executor,
-            scheduler=self.scheduler or StaticScheduler(),
+            config=RunConfig(scheduler=self.scheduler or StaticScheduler()),
             metrics=self.metrics,
             failure_injector=self.failure_injector,
         )
@@ -254,30 +262,35 @@ def generate_design_parallel(
     design,
     n_ranks: int,
     *,
+    config: RunConfig | None = None,
     backend: BackendLike = None,
-    memory_budget_entries: int = 50_000_000,
+    memory_budget_entries: int | None = None,
     max_retries: int = 0,
     rank_timeout_s: float | None = None,
     metrics: MetricsRegistry | None = None,
     events: RankEvents | None = None,
     scheduler=None,
     checkpoint_dir: "str | None" = None,
-    resume: bool = False,
+    resume: bool | None = None,
     memory_entries: int | None = None,
 ) -> Graph:
     """One-call helper: realize a :class:`~repro.design.PowerLawDesign`
     on ``n_ranks`` simulated ranks, removing the design self-loop.
 
-    ``backend`` accepts a registry name or a backend instance;
-    ``memory_entries`` is a deprecated alias of ``memory_budget_entries``
-    and warns when used.
+    ``config`` is the preferred way to shape the run
+    (:class:`~repro.engine.config.RunConfig`: backend, scheduler, memory
+    budget, checkpoint directory, resume, kernel — ``scramble_seed``
+    only together with ``checkpoint_dir``, since the in-memory path
+    returns the unrelabeled graph).  The individual keywords keep
+    working but are deprecated (warn once); ``memory_entries`` is the
+    older deprecated alias of ``memory_budget_entries``.
 
-    With ``checkpoint_dir``, generation runs through the crash-safe
+    With a checkpoint directory, generation runs through the crash-safe
     streamed pipeline (:func:`~repro.parallel.stream.generate_to_disk`):
     every rank shard is written atomically and committed to the run
-    manifest, and ``resume=True`` re-derives the plan, verifies the
-    design fingerprint, and regenerates only missing/invalid shards
-    before assembling the graph from disk.
+    manifest, and resume re-derives the plan, verifies the design
+    fingerprint, and regenerates only missing/invalid shards before
+    assembling the graph from disk.
     """
     if memory_entries is not None:
         warnings.warn(
@@ -286,36 +299,64 @@ def generate_design_parallel(
             stacklevel=2,
         )
         memory_budget_entries = memory_entries
-    if checkpoint_dir is not None:
+    cfg = resolve_run_config(
+        "generate_design_parallel",
+        config,
+        unsupported=("transport",),
+        backend=_UNSET if backend is None else backend,
+        scheduler=_UNSET if scheduler is None else scheduler,
+        memory_budget_entries=(
+            _UNSET if memory_budget_entries is None else memory_budget_entries
+        ),
+        checkpoint_dir=_UNSET if checkpoint_dir is None else checkpoint_dir,
+        resume=_UNSET if resume is None else resume,
+    )
+    budget = (
+        cfg.memory_budget_entries
+        if cfg.memory_budget_entries is not None
+        else 50_000_000
+    )
+    if cfg.checkpoint_dir is not None:
         from repro.io.tsv import read_rank_files
         from repro.parallel.stream import generate_to_disk
 
         generate_to_disk(
             design,
             n_ranks,
-            checkpoint_dir,
-            memory_budget_entries=memory_budget_entries,
-            resume=resume,
-            backend=backend,
-            scheduler=scheduler,
+            cfg.checkpoint_dir,
+            config=RunConfig(
+                backend=cfg.backend,
+                scheduler=cfg.scheduler,
+                memory_budget_entries=budget,
+                resume=cfg.resume,
+                scramble_seed=cfg.scramble_seed,
+                kernel=cfg.kernel,
+            ),
             max_retries=max_retries,
             metrics=metrics,
         )
         n = design.num_vertices
         # Shards already have the self-loop removed.
-        return Graph(read_rank_files(checkpoint_dir, (n, n)))
-    if resume:
+        return Graph(read_rank_files(cfg.checkpoint_dir, (n, n)))
+    if cfg.resume:
         raise GenerationError("resume=True requires checkpoint_dir")
-    cluster = VirtualCluster(n_ranks=n_ranks, memory_entries=memory_budget_entries)
+    if cfg.scramble_seed is not None:
+        raise GenerationError(
+            "scramble_seed requires checkpoint_dir: the in-memory path "
+            "returns the graph in design labels (relabel via "
+            "generate_to_disk instead)"
+        )
+    cluster = VirtualCluster(n_ranks=n_ranks, memory_budget_entries=budget)
     gen = ParallelKroneckerGenerator(
         design.to_chain(),
         cluster,
-        backend=backend,
+        backend=cfg.backend,
         max_retries=max_retries,
         rank_timeout_s=rank_timeout_s,
         metrics=metrics,
         events=events,
-        scheduler=scheduler,
+        scheduler=cfg.scheduler,
+        kernel=cfg.kernel,
     )
     loop_vertex = design.loop_vertex if design.self_loop is not SelfLoop.NONE else None
     return gen.generate_graph(remove_loop_at=loop_vertex)

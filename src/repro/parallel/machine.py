@@ -10,7 +10,8 @@ algorithm *has no communication to model*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import InitVar, dataclass
 
 from repro.errors import PartitionError
 
@@ -23,25 +24,40 @@ class VirtualCluster:
     ----------
     n_ranks:
         Number of processors (the paper's ``Np``).
-    memory_entries:
+    memory_budget_entries:
         Per-rank memory budget expressed as the maximum number of stored
         sparse-matrix entries a rank may hold at once (constituent halves
         B and C must each fit).  Defaults to 5e7 entries (~1.2 GB of
         int64 triples), a laptop-class budget.
     name:
         Optional label for reports.
+    memory_entries:
+        Deprecated keyword alias of ``memory_budget_entries``; accepted
+        (with a :class:`DeprecationWarning`) so pre-rename callers keep
+        working, and readable via the deprecated property of the same
+        name.
     """
 
     n_ranks: int
-    memory_entries: int = 50_000_000
+    memory_budget_entries: int = 50_000_000
     name: str = "virtual-cluster"
+    memory_entries: InitVar[int | None] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, memory_entries: int | None) -> None:
+        if memory_entries is not None:
+            warnings.warn(
+                "VirtualCluster(memory_entries=...) is deprecated; use "
+                "memory_budget_entries",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "memory_budget_entries", memory_entries)
         if self.n_ranks < 1:
             raise PartitionError(f"need at least one rank, got {self.n_ranks}")
-        if self.memory_entries < 1:
+        if self.memory_budget_entries < 1:
             raise PartitionError(
-                f"memory budget must be positive, got {self.memory_entries}"
+                "memory budget must be positive, got "
+                f"{self.memory_budget_entries}"
             )
 
     @property
@@ -52,5 +68,20 @@ class VirtualCluster:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"VirtualCluster({self.name!r}, n_ranks={self.n_ranks}, "
-            f"memory_entries={self.memory_entries:,})"
+            f"memory_budget_entries={self.memory_budget_entries:,})"
         )
+
+
+def _memory_entries(self: VirtualCluster) -> int:
+    warnings.warn(
+        "VirtualCluster.memory_entries is deprecated; read "
+        "memory_budget_entries",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return self.memory_budget_entries
+
+
+# Attached after class creation: a property in the class body would be
+# swallowed by the dataclass machinery as the InitVar's "default".
+VirtualCluster.memory_entries = property(_memory_entries)

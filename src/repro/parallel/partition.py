@@ -44,13 +44,13 @@ def choose_split(
 
     Chooses the k that makes nnz(B) as large as possible (more triples to
     spread over ranks → finer balance) while both nnz(B) and nnz(C) stay
-    within ``cluster.memory_entries``.  Additionally requires
+    within ``cluster.memory_budget_entries``.  Additionally requires
     ``nnz(B) >= n_ranks`` so every rank receives at least one triple,
     unless ``allow_empty`` permits over-decomposition.
     """
     if chain.num_factors < 2:
         raise PartitionError("need at least two factors to split B ⊗ C")
-    budget = cluster.memory_entries
+    budget = cluster.memory_budget_entries
     nnzs = [m.nnz for m in chain.factors]
     best_k = None
     best_bnnz = -1
@@ -223,10 +223,13 @@ def partition_bc(
         else choose_split(chain, cluster, allow_empty=allow_empty)
     )
     b_chain, c_chain = chain.split(k)
-    if b_chain.nnz > cluster.memory_entries or c_chain.nnz > cluster.memory_entries:
+    if (
+        b_chain.nnz > cluster.memory_budget_entries
+        or c_chain.nnz > cluster.memory_budget_entries
+    ):
         raise PartitionError(
             f"split at {k} gives nnz(B)={b_chain.nnz:,}, nnz(C)={c_chain.nnz:,}; "
-            f"budget is {cluster.memory_entries:,} entries per rank"
+            f"budget is {cluster.memory_budget_entries:,} entries per rank"
         )
     b = b_chain.materialize()
     assignments = partition_b_triples(b, cluster.n_ranks, allow_empty=allow_empty)

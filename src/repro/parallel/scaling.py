@@ -24,6 +24,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from repro.engine.config import _UNSET, RunConfig, resolve_run_config
 from repro.errors import GenerationError
 from repro.kron.chain import KroneckerChain
 from repro.kron.sparse_kron import kron
@@ -94,6 +95,7 @@ def measure_rank_rate(
     max_retries: int = 0,
     rank_timeout_s: float | None = None,
     metrics: MetricsRegistry | None = None,
+    kernel: str = "auto",
 ) -> ScalingPoint:
     """Generate ``chain`` on ``cluster`` and time every rank's kernel."""
     gen = ParallelKroneckerGenerator(
@@ -104,6 +106,7 @@ def measure_rank_rate(
         max_retries=max_retries,
         rank_timeout_s=rank_timeout_s,
         metrics=metrics,
+        kernel=kernel,
     )
     blocks = gen.generate_blocks()
     times = [b.elapsed_s for b in blocks]
@@ -122,7 +125,8 @@ def run_scaling_study(
     chain: KroneckerChain,
     rank_counts: Sequence[int],
     *,
-    memory_budget_entries: int = 50_000_000,
+    config: RunConfig | None = None,
+    memory_budget_entries: int | None = None,
     backend: BackendLike = None,
     scheduler=None,
     max_retries: int = 0,
@@ -132,8 +136,10 @@ def run_scaling_study(
 ) -> ScalingStudy:
     """Sweep ``rank_counts`` and collect the scaling curve for ``chain``.
 
-    ``memory_entries`` is a deprecated alias of ``memory_budget_entries``
-    (warns) — the same shim every other driver carries.
+    Prefer ``config=RunConfig(...)`` (backend, scheduler, memory budget,
+    kernel); the individual keywords are deprecated aliases, and
+    ``memory_entries`` is the older deprecated alias of
+    ``memory_budget_entries``.
     """
     if memory_entries is not None:
         warnings.warn(
@@ -142,20 +148,36 @@ def run_scaling_study(
             stacklevel=2,
         )
         memory_budget_entries = memory_entries
+    cfg = resolve_run_config(
+        "run_scaling_study",
+        config,
+        unsupported=("transport", "checkpoint_dir", "resume", "scramble_seed"),
+        memory_budget_entries=(
+            _UNSET if memory_budget_entries is None else memory_budget_entries
+        ),
+        backend=_UNSET if backend is None else backend,
+        scheduler=_UNSET if scheduler is None else scheduler,
+    )
+    budget = (
+        cfg.memory_budget_entries
+        if cfg.memory_budget_entries is not None
+        else 50_000_000
+    )
     study = ScalingStudy()
     for n in rank_counts:
         cluster = VirtualCluster(
-            n_ranks=int(n), memory_entries=memory_budget_entries
+            n_ranks=int(n), memory_budget_entries=budget
         )
         study.points.append(
             measure_rank_rate(
                 chain,
                 cluster,
-                backend=backend,
-                scheduler=scheduler,
+                backend=cfg.backend,
+                scheduler=cfg.scheduler,
                 max_retries=max_retries,
                 rank_timeout_s=rank_timeout_s,
                 metrics=metrics,
+                kernel=cfg.kernel,
             )
         )
     return study

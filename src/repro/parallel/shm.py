@@ -1,0 +1,279 @@
+"""Zero-copy tile handoff over ``multiprocessing.shared_memory``.
+
+The multiprocessing backend historically pickled every rank's triples
+twice: the shared ``C`` factor into each worker, and the generated block
+back out.  This module removes both copies for sinks whose payload *is*
+triples:
+
+* the coordinator shares ``C`` once as a read-only segment; workers
+  attach and reconstruct the :class:`~repro.sparse.coo.COOMatrix` as
+  views (cached per process, so a persistent pool attaches once);
+* each task gets a preallocated output segment sized by its exact
+  ``estimated_entries`` bound (``nnz(Bp) · nnz(C)``, an upper bound on
+  post-transform output); the worker's :class:`ShmTriplesConsumer`
+  writes tiles straight into it and returns a tiny
+  :class:`ShmTriplesHandle` token, and the engine copies the triples out
+  **at commit** and releases the segment immediately.
+
+Ownership is strictly coordinator-side: the :class:`SharedTilePool`
+creates and unlinks every segment; workers only ever attach.  Segments
+on tmpfs are sparse until written, so preallocating every task up front
+reserves no real memory — the resident set is bounded by in-flight plus
+reorder-buffered tasks, exactly what the engine's backpressure already
+bounds.  ``pool.shutdown()`` runs in ``execute()``'s ``finally`` (leak
+check: a clean run has released every output segment by then), and the
+interpreter's ``resource_tracker`` reclaims segments if the coordinator
+is killed outright.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.sparse.coo import COOMatrix
+
+#: Segment-name prefix; also the leak-scan key for ``/dev/shm``.
+SHM_PREFIX = "repro_tile_"
+
+_ITEMSIZE = np.dtype(np.int64).itemsize
+
+
+def _as_shared_bytes(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class SharedTriplesRef:
+    """A picklable pointer to one segment holding three int64 arrays.
+
+    The segment packs ``rows | cols | vals``, each ``capacity`` entries.
+    ``name=None`` denotes an empty (zero-capacity) virtual segment:
+    ``SharedMemory`` forbids zero-size segments, so empty ranks never
+    create one.
+    """
+
+    name: Optional[str]
+    capacity: int
+
+    def arrays(self, buf) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three array views over an attached segment's buffer."""
+        n = self.capacity
+        rows = np.frombuffer(buf, dtype=np.int64, count=n, offset=0)
+        cols = np.frombuffer(buf, dtype=np.int64, count=n, offset=n * _ITEMSIZE)
+        vals = np.frombuffer(buf, dtype=np.int64, count=n, offset=2 * n * _ITEMSIZE)
+        return rows, cols, vals
+
+
+@dataclass(frozen=True)
+class SharedCooRef:
+    """A picklable stand-in for a shared canonical :class:`COOMatrix`."""
+
+    shape: Tuple[int, int]
+    triples: SharedTriplesRef
+
+
+@dataclass(frozen=True)
+class ShmTriplesHandle:
+    """What a worker returns instead of its triples: segment + count."""
+
+    ref: SharedTriplesRef
+    count: int
+
+
+class SharedTilePool:
+    """Coordinator-owned lifecycle for a run's shared-memory segments."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._run_tag = secrets.token_hex(6)
+        self._seq = 0
+        self._shut_down = False
+
+    # -- creation --------------------------------------------------------
+    def _create(self, capacity: int) -> SharedTriplesRef:
+        if self._shut_down:
+            raise GenerationError("shared tile pool is already shut down")
+        if capacity == 0:
+            return SharedTriplesRef(name=None, capacity=0)
+        name = f"{SHM_PREFIX}{self._run_tag}_{self._seq}"
+        self._seq += 1
+        seg = shared_memory.SharedMemory(
+            name=name, create=True, size=3 * capacity * _ITEMSIZE
+        )
+        self._segments[name] = seg
+        return SharedTriplesRef(name=name, capacity=capacity)
+
+    def share_coo(self, matrix: COOMatrix) -> SharedCooRef:
+        """Publish a canonical matrix for workers to attach read-only."""
+        ref = self._create(matrix.nnz)
+        if ref.name is not None:
+            rows, cols, vals = ref.arrays(self._segments[ref.name].buf)
+            rows[:] = _as_shared_bytes(matrix.rows)
+            cols[:] = _as_shared_bytes(matrix.cols)
+            vals[:] = _as_shared_bytes(matrix.vals)
+        return SharedCooRef(shape=matrix.shape, triples=ref)
+
+    def allocate_output(self, capacity: int) -> SharedTriplesRef:
+        """Preallocate one task's output segment (sparse until written)."""
+        return self._create(capacity)
+
+    # -- commit-side consumption ----------------------------------------
+    def take(self, handle: ShmTriplesHandle) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Copy a completed task's triples out and release its segment.
+
+        The one owning memcpy of the zero-copy path: after it, no view
+        into the segment survives, so releasing is safe.
+        """
+        ref = handle.ref
+        if ref.name is None:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, empty
+        seg = self._segments.get(ref.name)
+        if seg is None:
+            raise GenerationError(
+                f"shared segment {ref.name} is not owned by this pool "
+                "(double take, or a foreign handle)"
+            )
+        rows, cols, vals = ref.arrays(seg.buf)
+        n = handle.count
+        out = (rows[:n].copy(), cols[:n].copy(), vals[:n].copy())
+        del rows, cols, vals
+        self.release(ref)
+        return out
+
+    def release(self, ref: SharedTriplesRef) -> None:
+        """Close and unlink one segment (idempotent for empty refs)."""
+        if ref.name is None:
+            return
+        seg = self._segments.pop(ref.name, None)
+        if seg is None:
+            return
+        seg.close()
+        seg.unlink()
+
+    # -- lifecycle -------------------------------------------------------
+    def outstanding(self) -> Tuple[str, ...]:
+        """Names of segments not yet released (sorted, for tests)."""
+        return tuple(sorted(self._segments))
+
+    def shutdown(self) -> Tuple[str, ...]:
+        """Release every remaining segment; returns what was reclaimed.
+
+        Idempotent.  On a clean run the only expected survivor is the
+        shared ``C`` segment; anything else is a leaked output segment
+        (the engine meters the count).
+        """
+        reclaimed = self.outstanding()
+        for name in reclaimed:
+            seg = self._segments.pop(name)
+            seg.close()
+            seg.unlink()
+        self._shut_down = True
+        return reclaimed
+
+
+# -- worker side (module-level, picklable / fork-safe) ------------------------
+#: Per-process cache of attached read-only matrices, keyed by segment
+#: name.  Lives for the worker process's lifetime: a persistent executor
+#: attaches C exactly once per worker, and the mappings die with the
+#: process (the coordinator owns unlinking).
+_ATTACHED_COO: Dict[str, COOMatrix] = {}
+_ATTACHED_SEGMENTS: List[shared_memory.SharedMemory] = []
+
+
+def attach_shared_coo(ref: SharedCooRef) -> COOMatrix:
+    """Reconstruct a shared matrix as read-only views (cached)."""
+    name = ref.triples.name
+    if name is None:
+        empty = np.zeros(0, dtype=np.int64)
+        return COOMatrix(ref.shape, empty, empty, empty, _canonical=True)
+    cached = _ATTACHED_COO.get(name)
+    if cached is not None:
+        return cached
+    seg = shared_memory.SharedMemory(name=name)
+    _ATTACHED_SEGMENTS.append(seg)  # keep the mapping alive with the cache
+    rows, cols, vals = ref.triples.arrays(seg.buf)
+    for arr in (rows, cols, vals):
+        arr.flags.writeable = False
+    matrix = COOMatrix(ref.shape, rows, cols, vals, _canonical=True)
+    _ATTACHED_COO[name] = matrix
+    return matrix
+
+
+class ShmTriplesConsumer:
+    """Worker-side consumer writing tiles into a shared output segment.
+
+    Fresh per attempt (like every consumer), so a retry rewinds to
+    offset zero by construction.  ``result()`` returns the tiny
+    :class:`ShmTriplesHandle`; the triples themselves never cross the
+    process boundary.
+    """
+
+    def __init__(self, ref: SharedTriplesRef) -> None:
+        self._ref = ref
+        self._count = 0
+        if ref.name is None:
+            self._seg = None
+            self._rows = self._cols = self._vals = None
+        else:
+            self._seg = shared_memory.SharedMemory(name=ref.name)
+            self._rows, self._cols, self._vals = ref.arrays(self._seg.buf)
+
+    def consume(self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> None:
+        n = len(rows)
+        if n == 0:
+            return
+        end = self._count + n
+        if self._seg is None or end > self._ref.capacity:
+            raise GenerationError(
+                f"shared segment {self._ref.name} overflow: "
+                f"{end} > capacity {self._ref.capacity}"
+            )
+        self._rows[self._count:end] = rows
+        self._cols[self._count:end] = cols
+        self._vals[self._count:end] = vals
+        self._count = end
+
+    def _detach(self) -> None:
+        # Views must be dropped before close(): an mmap with exported
+        # buffers refuses to close.
+        self._rows = self._cols = self._vals = None
+        if self._seg is not None:
+            self._seg.close()
+            self._seg = None
+
+    def result(self) -> ShmTriplesHandle:
+        self._detach()
+        return ShmTriplesHandle(ref=self._ref, count=self._count)
+
+    def abort(self) -> None:
+        self._detach()
+
+
+@dataclass(frozen=True)
+class ShmConsumerFactory:
+    """Picklable factory binding one task to its output segment."""
+
+    ref: SharedTriplesRef
+
+    def __call__(self, rank: int) -> ShmTriplesConsumer:
+        return ShmTriplesConsumer(self.ref)
+
+
+def shm_segment_names() -> Tuple[str, ...]:
+    """Pool-prefixed segments currently present in ``/dev/shm`` (the
+    leak probe used by the failure-injection tests; empty where the OS
+    keeps shared memory elsewhere)."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return ()
+    return tuple(
+        sorted(n for n in os.listdir(root) if n.startswith(SHM_PREFIX))
+    )

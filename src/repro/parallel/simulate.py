@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.design.star_design import PowerLawDesign
+from repro.engine.config import _UNSET, RunConfig, resolve_run_config
 from repro.engine.execute import execute as engine_execute
 from repro.engine.plan import plan_from_partition
 from repro.engine.sinks import AssemblySink
@@ -72,8 +73,9 @@ def simulate_rate_curve(
     design: PowerLawDesign,
     core_counts: Sequence[int],
     *,
+    config: RunConfig | None = None,
     split_index: int | None = None,
-    max_block_entries: int = 40_000_000,
+    max_block_entries: int | None = None,
     repeats: int = 1,
     metrics: MetricsRegistry | None = None,
 ) -> SimulatedCurve:
@@ -84,7 +86,32 @@ def simulate_rate_curve(
     in the paper, where B and C are fixed and only Np varies).  With
     ``metrics``, every measured point lands in the ``simulate.rank_s``
     histogram and the skip count in ``simulate.points_skipped``.
+
+    Prefer ``config=RunConfig(...)``: its ``memory_budget_entries`` is
+    this function's block budget (the deprecated ``max_block_entries``
+    keyword, default 40M entries), and ``backend`` / ``kernel`` shape
+    the timed kernel runs.
     """
+    cfg = resolve_run_config(
+        "simulate_rate_curve",
+        config,
+        unsupported=(
+            "scheduler",
+            "transport",
+            "checkpoint_dir",
+            "resume",
+            "scramble_seed",
+        ),
+        memory_budget_entries=(
+            _UNSET if max_block_entries is None else max_block_entries
+        ),
+    )
+    max_block_entries = (
+        cfg.memory_budget_entries
+        if cfg.memory_budget_entries is not None
+        else 40_000_000
+    )
+    engine_config = RunConfig(backend=cfg.backend)
     chain = design.to_chain()
     nnzs = [f.nnz for f in chain.factors]
     if split_index is None:
@@ -165,12 +192,13 @@ def simulate_rate_curve(
             ),
             num_vertices=chain.num_vertices,
             memory_budget_entries=max_block_entries,
+            kernel=cfg.kernel,
             c=c,
         )
         best = float("inf")
         produced = 0
         for _ in range(max(1, repeats)):
-            result = engine_execute(plan, AssemblySink())
+            result = engine_execute(plan, AssemblySink(), config=engine_config)
             best = min(best, result.stats[0].elapsed_s)
             produced = result.stats[0].nnz
         if metrics is not None:

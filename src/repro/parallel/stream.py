@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.design.distribution import DegreeDistribution
 from repro.design.star_design import PowerLawDesign
+from repro.engine.config import _UNSET, RunConfig, resolve_run_config
 from repro.engine.execute import execute as engine_execute
 from repro.engine.plan import plan_from_design
 from repro.engine.scheduler import StaticScheduler
@@ -87,10 +88,11 @@ def generate_to_disk(
     n_ranks: int,
     directory: str | Path,
     *,
-    memory_budget_entries: int = 50_000_000,
+    config: RunConfig | None = None,
+    memory_budget_entries: int | None = None,
     prefix: str = "edges",
     scramble_seed: int | None = None,
-    resume: bool = False,
+    resume: bool | None = None,
     backend: BackendLike = None,
     scheduler=None,
     max_retries: int = 0,
@@ -114,6 +116,13 @@ def generate_to_disk(
 
     Parameters beyond the original signature:
 
+    ``config``
+        A :class:`~repro.engine.config.RunConfig` carrying the
+        run-shaping choices (backend, scheduler, memory budget,
+        transport, resume, scramble seed, kernel) in one object — the
+        preferred spelling.  The individual keywords below keep working
+        but are deprecated (they warn once per process), and mixing them
+        with ``config=`` raises.
     ``scramble_seed``
         Apply the Graph500-style affine vertex scramble to the written
         labels (degree/triangle statistics are label-invariant, so
@@ -159,28 +168,48 @@ def generate_to_disk(
     memory_budget_entries = _resolve_memory_alias(
         memory_budget_entries, memory_entries
     )
+    cfg = resolve_run_config(
+        "generate_to_disk",
+        config,
+        unsupported=("checkpoint_dir",),
+        memory_budget_entries=(
+            _UNSET if memory_budget_entries is None else memory_budget_entries
+        ),
+        scramble_seed=_UNSET if scramble_seed is None else scramble_seed,
+        resume=_UNSET if resume is None else resume,
+        backend=_UNSET if backend is None else backend,
+        scheduler=_UNSET if scheduler is None else scheduler,
+        transport=_UNSET if transport is None else transport,
+    )
+    budget = (
+        cfg.memory_budget_entries
+        if cfg.memory_budget_entries is not None
+        else 50_000_000
+    )
     plan = plan_from_design(
         design,
         n_ranks,
-        memory_budget_entries=memory_budget_entries,
-        scramble_seed=scramble_seed,
+        memory_budget_entries=budget,
+        scramble_seed=cfg.scramble_seed,
+        kernel=cfg.kernel,
     )
     sink = ShardSink(
-        directory, prefix=prefix, resume=resume, crash_hook=crash_hook
+        directory, prefix=prefix, resume=cfg.resume, crash_hook=crash_hook
     )
-    if scheduler is None:
-        # One-rank batches: the sink commits after every rank and at
-        # most one rank's results are held between commits.
-        scheduler = StaticScheduler(batch_size=1)
-    if transport is not None:
+    # One-rank batches by default: the sink commits after every rank and
+    # at most one rank's results are held between commits.
+    engine_config = RunConfig(
+        backend=cfg.backend,
+        scheduler=cfg.scheduler or StaticScheduler(batch_size=1),
+    )
+    if cfg.transport is not None:
         from repro.net import execute_over_transport
 
         result = execute_over_transport(
             plan,
             sink,
-            transport=transport,
-            backend=backend,
-            scheduler=scheduler,
+            transport=cfg.transport,
+            config=engine_config,
             metrics=metrics,
             tracer=tracer,
             max_retries=max_retries,
@@ -190,8 +219,7 @@ def generate_to_disk(
         result = engine_execute(
             plan,
             sink,
-            backend=backend,
-            scheduler=scheduler,
+            config=engine_config,
             metrics=metrics,
             tracer=tracer,
             max_retries=max_retries,
@@ -318,23 +346,45 @@ def streamed_degree_distribution(
     design: PowerLawDesign,
     n_ranks: int,
     *,
-    memory_budget_entries: int = 50_000_000,
+    config: RunConfig | None = None,
+    memory_budget_entries: int | None = None,
     backend: BackendLike = None,
     scheduler=None,
     memory_entries: int | None = None,
 ) -> DegreeDistribution:
-    """Measured degree distribution, one budget-sized tile at a time."""
+    """Measured degree distribution, one budget-sized tile at a time.
+
+    Prefer ``config=RunConfig(...)`` (backend, scheduler, memory budget,
+    kernel); the individual keywords are deprecated aliases.
+    """
     memory_budget_entries = _resolve_memory_alias(
         memory_budget_entries, memory_entries
     )
+    cfg = resolve_run_config(
+        "streamed_degree_distribution",
+        config,
+        unsupported=("transport", "checkpoint_dir", "resume", "scramble_seed"),
+        memory_budget_entries=(
+            _UNSET if memory_budget_entries is None else memory_budget_entries
+        ),
+        backend=_UNSET if backend is None else backend,
+        scheduler=_UNSET if scheduler is None else scheduler,
+    )
+    budget = (
+        cfg.memory_budget_entries
+        if cfg.memory_budget_entries is not None
+        else 50_000_000
+    )
     plan = plan_from_design(
-        design, n_ranks, memory_budget_entries=memory_budget_entries
+        design, n_ranks, memory_budget_entries=budget, kernel=cfg.kernel
     )
     result = engine_execute(
         plan,
         DegreeSink(),
-        backend=backend,
-        scheduler=scheduler or StaticScheduler(batch_size=1),
+        config=RunConfig(
+            backend=cfg.backend,
+            scheduler=cfg.scheduler or StaticScheduler(batch_size=1),
+        ),
     )
     return result.sink_result.distribution()
 
@@ -351,7 +401,9 @@ def validate_streamed(
         memory_budget_entries, memory_entries
     )
     measured = streamed_degree_distribution(
-        design, n_ranks, memory_budget_entries=memory_budget_entries
+        design,
+        n_ranks,
+        config=RunConfig(memory_budget_entries=memory_budget_entries),
     )
     return check_degree_distribution(measured, design.degree_distribution)
 

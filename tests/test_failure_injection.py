@@ -392,3 +392,78 @@ class TestTransportChaos:
         # The ABORT frame tore the remote sink down cleanly.
         assert RunManifest.load(tmp_path).status == STATUS_FAILED
         self._assert_failed_then_resumable(tmp_path)
+
+
+class TestShmReclaimOnFailure:
+    """Crashed zero-copy runs must not litter ``/dev/shm``.
+
+    The coordinator owns every shared segment and ``execute`` reclaims
+    the pool in a ``finally``, so even a run killed by a fatal rank
+    error or retry exhaustion leaves the segment namespace exactly as
+    it found it — and the ``engine.shm_leaked`` gauge records how many
+    output segments the shutdown had to mop up.
+    """
+
+    def _generator(self, **kwargs):
+        from repro.parallel import MultiprocessingBackend
+
+        return ParallelKroneckerGenerator(
+            DESIGN.to_chain(),
+            VirtualCluster(4, memory_budget_entries=500),
+            backend=MultiprocessingBackend(processes=2),
+            **kwargs,
+        )
+
+    def test_fatal_failure_leaves_no_segments(self):
+        from repro.parallel.shm import shm_segment_names
+
+        before = shm_segment_names()
+        gen = self._generator(
+            max_retries=5,
+            failure_injector=FailureInjector([2], fatal=True),
+        )
+        with pytest.raises(FatalRankError):
+            gen.generate_blocks()
+        assert shm_segment_names() == before
+
+    def test_retry_exhaustion_leaves_no_segments(self):
+        from repro.parallel.shm import shm_segment_names
+
+        before = shm_segment_names()
+        gen = self._generator(
+            max_retries=0, failure_injector=FailureInjector([1])
+        )
+        with pytest.raises(RetryExhaustedError):
+            gen.generate_blocks()
+        assert shm_segment_names() == before
+
+    def test_failed_run_records_reclaimed_outputs(self):
+        from repro.runtime import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        gen = self._generator(
+            metrics=metrics,
+            max_retries=0,
+            failure_injector=FailureInjector([1]),
+        )
+        with pytest.raises(RetryExhaustedError):
+            gen.generate_blocks()
+        # The failing rank's output segment was never taken, so the
+        # shutdown reclaimed at least it.
+        assert metrics.gauge("engine.shm_leaked").value >= 1
+
+    def test_recovered_zero_copy_run_is_exact_and_clean(self):
+        from repro.parallel.shm import shm_segment_names
+        from repro.runtime import MetricsRegistry
+
+        before = shm_segment_names()
+        metrics = MetricsRegistry()
+        gen = self._generator(
+            metrics=metrics,
+            max_retries=2,
+            failure_injector=FailureInjector([1, 3], fail_attempts=1),
+        )
+        blocks = gen.generate_blocks()
+        assert sum(b.nnz for b in blocks) == DESIGN.to_chain().nnz
+        assert shm_segment_names() == before
+        assert metrics.gauge("engine.shm_leaked").value == 0

@@ -1,0 +1,220 @@
+"""RunConfig: the unified run-shaping API and its deprecation shims.
+
+Contract under test (shared by every config-accepting driver):
+
+* ``RunConfig()`` reproduces each driver's historical behaviour;
+* individual run-shaping keywords keep working but warn once per
+  function per process;
+* mixing ``config=`` with an individual keyword raises;
+* a config field the function cannot honour raises loudly instead of
+  being silently ignored.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import PowerLawDesign, RunConfig, VirtualCluster
+from repro.engine.config import (
+    _UNSET,
+    _reset_warned,
+    resolve_run_config,
+)
+from repro.errors import GenerationError
+from repro.parallel import generate_design_parallel, streamed_degree_distribution
+from repro.parallel.scaling import run_scaling_study
+from repro.parallel.simulate import simulate_rate_curve
+from repro.parallel.stream import generate_to_disk
+
+DESIGN = PowerLawDesign([3, 4, 5], "center")
+BUDGET = 500
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test sees the warn-once state as a fresh process would."""
+    _reset_warned()
+    yield
+    _reset_warned()
+
+
+class TestRunConfigDataclass:
+    def test_defaults_are_neutral(self):
+        cfg = RunConfig()
+        assert cfg.backend is None
+        assert cfg.scheduler is None
+        assert cfg.memory_budget_entries is None
+        assert cfg.transport is None
+        assert cfg.checkpoint_dir is None
+        assert cfg.resume is False
+        assert cfg.scramble_seed is None
+        assert cfg.kernel == "auto"
+        assert cfg.non_default_fields() == ()
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RunConfig().kernel = "numpy"
+
+    def test_replace_round_trip(self):
+        cfg = RunConfig(memory_budget_entries=BUDGET, kernel="numpy")
+        again = cfg.replace(kernel="auto").replace(kernel="numpy")
+        assert again == cfg
+        assert cfg.non_default_fields() == ("kernel", "memory_budget_entries")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(GenerationError, match="unknown kernel"):
+            RunConfig(kernel="fortran")
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(GenerationError, match="must be positive"):
+            RunConfig(memory_budget_entries=0)
+
+
+class TestResolveRunConfig:
+    def test_config_passes_through(self):
+        cfg = RunConfig(memory_budget_entries=BUDGET)
+        assert resolve_run_config("f", cfg) is cfg
+
+    def test_legacy_kwargs_fold_and_warn_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = resolve_run_config("f", None, backend="thread")
+            second = resolve_run_config("f", None, backend="thread")
+            resolve_run_config("g", None, backend="thread")
+        assert first.backend == "thread" == second.backend
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        # Once for "f" (not twice), once for "g".
+        assert len(deprecations) == 2
+        assert "config=RunConfig(...)" in str(deprecations[0].message)
+
+    def test_no_kwargs_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_run_config("f", None) == RunConfig()
+
+    def test_mixing_raises(self):
+        with pytest.raises(GenerationError, match="not both"):
+            resolve_run_config("f", RunConfig(), backend="thread")
+
+    def test_non_runconfig_rejected(self):
+        with pytest.raises(GenerationError, match="must be a RunConfig"):
+            resolve_run_config("f", {"backend": "thread"})
+
+    def test_unsupported_field_raises(self):
+        cfg = RunConfig(resume=True)
+        with pytest.raises(GenerationError, match=r"\['resume'\]"):
+            resolve_run_config("f", cfg, unsupported=("resume",))
+
+    def test_unset_sentinel_means_not_passed(self):
+        cfg = resolve_run_config("f", None, backend=_UNSET, scheduler=_UNSET)
+        assert cfg == RunConfig()
+
+
+class TestDriversHonourConfig:
+    def test_generate_design_parallel_config_equals_legacy(self):
+        via_config = generate_design_parallel(
+            DESIGN, 4, config=RunConfig(memory_budget_entries=BUDGET)
+        )
+        via_legacy = generate_design_parallel(
+            DESIGN, 4, memory_budget_entries=BUDGET
+        )
+        assert via_config.adjacency.equal(via_legacy.adjacency)
+
+    def test_generate_to_disk_config_equals_legacy(self, tmp_path):
+        generate_to_disk(
+            DESIGN,
+            2,
+            tmp_path / "a",
+            config=RunConfig(memory_budget_entries=BUDGET, scramble_seed=7),
+        )
+        generate_to_disk(
+            DESIGN,
+            2,
+            tmp_path / "b",
+            memory_budget_entries=BUDGET,
+            scramble_seed=7,
+        )
+        for rank in range(2):
+            assert (tmp_path / "a" / f"edges.{rank}.tsv").read_bytes() == (
+                tmp_path / "b" / f"edges.{rank}.tsv"
+            ).read_bytes()
+
+    def test_streamed_degrees_config_path(self):
+        dist = streamed_degree_distribution(
+            DESIGN, 2, config=RunConfig(memory_budget_entries=BUDGET)
+        )
+        assert dist == DESIGN.degree_distribution
+
+    def test_scaling_and_simulate_accept_config(self):
+        study = run_scaling_study(
+            DESIGN.to_chain(),
+            [1, 2],
+            config=RunConfig(memory_budget_entries=BUDGET),
+        )
+        assert [p.n_ranks for p in study.points] == [1, 2]
+        curve = simulate_rate_curve(
+            DESIGN, [1, 2], config=RunConfig(memory_budget_entries=BUDGET)
+        )
+        assert len(curve.points) == 2
+
+    def test_checkpoint_dir_via_config(self, tmp_path):
+        graph = generate_design_parallel(
+            DESIGN,
+            2,
+            config=RunConfig(
+                memory_budget_entries=BUDGET,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+            ),
+        )
+        assert graph.num_edges == DESIGN.num_edges
+        assert (tmp_path / "ckpt" / "manifest.json").exists()
+
+    def test_scramble_without_checkpoint_raises(self):
+        with pytest.raises(GenerationError, match="scramble_seed requires"):
+            generate_design_parallel(
+                DESIGN, 2, config=RunConfig(scramble_seed=3)
+            )
+
+    def test_resume_without_checkpoint_raises(self):
+        with pytest.raises(GenerationError, match="requires checkpoint_dir"):
+            generate_design_parallel(DESIGN, 2, config=RunConfig(resume=True))
+
+    def test_transport_unsupported_in_degree_driver(self):
+        with pytest.raises(GenerationError, match="transport"):
+            streamed_degree_distribution(
+                DESIGN, 2, config=RunConfig(transport="inproc")
+            )
+
+    def test_drivers_reject_mixed_styles(self, tmp_path):
+        with pytest.raises(GenerationError, match="not both"):
+            generate_to_disk(
+                DESIGN,
+                2,
+                tmp_path,
+                config=RunConfig(),
+                memory_budget_entries=BUDGET,
+            )
+
+
+class TestVirtualClusterMigration:
+    def test_new_name_is_quiet(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cluster = VirtualCluster(n_ranks=2, memory_budget_entries=BUDGET)
+        assert cluster.memory_budget_entries == BUDGET
+
+    def test_old_init_keyword_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="memory_entries"):
+            cluster = VirtualCluster(2, memory_entries=BUDGET)
+        assert cluster.memory_budget_entries == BUDGET
+
+    def test_old_read_property_warns(self):
+        cluster = VirtualCluster(2, memory_budget_entries=BUDGET)
+        with pytest.warns(DeprecationWarning, match="memory_entries"):
+            assert cluster.memory_entries == BUDGET
+
+    def test_repr_uses_new_name(self):
+        assert "memory_budget_entries" in repr(VirtualCluster(2))

@@ -24,11 +24,22 @@ Six cheap CI guards:
    (``repro.net``), asserting the collected shard directory — shards
    *and* ``manifest.json`` — is byte-identical to a direct
    ``ShardSink`` run and that frames actually crossed the wire — the
-   distributed path stays exact.
+   distributed path stays exact;
+7. the native-kernel guard: shards generated with ``kernel="native"``
+   must be byte-identical to the pure-NumPy oracle at every memory
+   budget under both schedulers (without numba the native bodies run
+   as plain Python under the ``REPRO_NATIVE_ALLOW_PYTHON`` hook — same
+   code, same bytes), and the multiprocessing-path edges/sec for the
+   baseline (pickled tiles + numpy kernel) and native (shared-memory
+   tiles + auto kernel) configurations is measured and appended to the
+   recorded ``BENCH_baseline.json`` / ``BENCH_native.json``
+   trajectories.  ``--require-native`` (the CI native-probe leg)
+   additionally demands real jitted kernels and a >=5x edges/sec win
+   over the same-machine baseline measurement.
 
 With ``--artifact-dir`` the tiled, straggler, and socket runs' metrics
-snapshots are written there for CI to upload.  The full benchmark
-suite is run separately.
+snapshots plus the updated ``BENCH_*.json`` trajectories are written
+there for CI to upload.  The full benchmark suite is run separately.
 """
 
 from __future__ import annotations
@@ -401,6 +412,179 @@ def smoke_socket_sink(root: Path, artifact_dir: Path | None) -> int:
     return 0
 
 
+def _load_trajectory(path: Path) -> list[dict]:
+    """Return the recorded measurement list, or [] if none yet."""
+    if not path.exists():
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)["trajectory"]
+
+
+def smoke_kernel_identity(
+    root: Path, artifact_dir: Path | None, require_native: bool
+) -> int:
+    """Guard 7: kernel byte-identity and the BENCH_*.json trajectory."""
+    sys.path.insert(0, str(root / "src"))
+    from repro import PowerLawDesign, RunConfig, VirtualCluster
+    from repro.engine import WorkQueueScheduler
+    from repro.kron import _fast
+    from repro.parallel import ParallelKroneckerGenerator, generate_to_disk
+    from repro.parallel.backends import MultiprocessingBackend
+
+    if require_native and not _fast.numba_available():
+        print(
+            "bench-smoke: --require-native, but the numba kernels are not "
+            "jitted in this environment",
+            file=sys.stderr,
+        )
+        return 1
+
+    design = PowerLawDesign([3, 4, 5], "center")
+    n_ranks = 4
+    budgets = (100, 500, None)
+
+    # Byte-identity: native vs the NumPy oracle at every budget, both
+    # schedulers.  Without real numba, borrow the plain-Python fallback
+    # so the native code path still runs (same bodies, same bytes).
+    hooked = False
+    if not _fast.native_available():
+        os.environ[_fast.ALLOW_PYTHON_ENV] = "1"
+        _fast._reset()
+        hooked = True
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-kernel-smoke-") as tmp:
+            for budget in budgets:
+                for label, make_scheduler in (
+                    ("static", lambda: None),
+                    ("queue", WorkQueueScheduler),
+                ):
+                    dirs = {}
+                    for kernel in ("numpy", "native"):
+                        out = Path(tmp) / f"{kernel}-{budget}-{label}"
+                        generate_to_disk(
+                            design,
+                            n_ranks,
+                            out,
+                            config=RunConfig(
+                                memory_budget_entries=budget,
+                                scheduler=make_scheduler(),
+                                kernel=kernel,
+                            ),
+                        )
+                        dirs[kernel] = out
+                    for name in [
+                        f"edges.{r}.tsv" for r in range(n_ranks)
+                    ] + ["manifest.json"]:
+                        if (dirs["numpy"] / name).read_bytes() != (
+                            dirs["native"] / name
+                        ).read_bytes():
+                            print(
+                                f"bench-smoke: {name} differs between numpy "
+                                f"and native kernels (budget {budget}, "
+                                f"{label} scheduler)",
+                                file=sys.stderr,
+                            )
+                            return 1
+    finally:
+        if hooked:
+            os.environ.pop(_fast.ALLOW_PYTHON_ENV, None)
+            _fast._reset()
+    checked = len(budgets) * 2
+    print(
+        f"bench-smoke: OK — native kernel byte-identical to the NumPy "
+        f"oracle across {checked} budget×scheduler runs "
+        f"(jitted={_fast.numba_available()})",
+        file=sys.stderr,
+    )
+
+    # Trajectory: edges/sec on the multiprocessing assembly path.  The
+    # baseline pickles every tile with the numpy kernel; the native
+    # configuration uses shared-memory handoff with kernel resolution
+    # left to "auto" (numba-jitted where available).
+    bench_design = PowerLawDesign([3, 4, 5, 9], "center")
+    chain = bench_design.to_chain()
+
+    def measure(kernel: str, zero_copy: bool) -> dict:
+        best = float("inf")
+        edges = 0
+        for _ in range(3):
+            backend = MultiprocessingBackend(processes=2, zero_copy=zero_copy)
+            gen = ParallelKroneckerGenerator(
+                chain,
+                VirtualCluster(8),
+                backend=backend,
+                kernel=kernel,
+            )
+            t0 = time.perf_counter()
+            blocks = gen.generate_blocks()
+            best = min(best, time.perf_counter() - t0)
+            edges = sum(b.nnz for b in blocks)
+        return {
+            "edges": edges,
+            "edges_per_second": edges / best,
+            "wall_s": best,
+            "kernel": kernel,
+            "zero_copy": zero_copy,
+            "kernels_jitted": _fast.numba_available(),
+        }
+
+    measured = {
+        "baseline": measure("numpy", zero_copy=False),
+        "native": measure("auto", zero_copy=True),
+    }
+    ratio = (
+        measured["native"]["edges_per_second"]
+        / measured["baseline"]["edges_per_second"]
+    )
+    for name, current in measured.items():
+        bench_path = root / f"BENCH_{name}.json"
+        trajectory = _load_trajectory(bench_path) + [current]
+        document = {
+            "schema": 1,
+            "command": "bench-smoke kernel-identity",
+            "design": list(bench_design.star_sizes),
+            "n_ranks": 8,
+            "workers": 2,
+            "trajectory": trajectory,
+        }
+        if len(trajectory) > 1:
+            recorded = trajectory[-2]["edges_per_second"]
+            print(
+                f"bench-smoke: {name} at "
+                f"{current['edges_per_second']:,.0f} edges/s "
+                f"(recorded {recorded:,.0f})",
+                file=sys.stderr,
+            )
+        if not bench_path.exists():
+            # First run on a fresh checkout records the history seed.
+            bench_path.write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"bench-smoke: recorded {bench_path.name}", file=sys.stderr)
+        if artifact_dir is not None:
+            artifact_dir.mkdir(parents=True, exist_ok=True)
+            out = artifact_dir / bench_path.name
+            out.write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"bench-smoke: wrote trajectory to {out}", file=sys.stderr)
+    if require_native and ratio < 5.0:
+        print(
+            f"bench-smoke: native path only {ratio:.2f}x the baseline "
+            "edges/sec — below the 5x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench-smoke: OK — multiprocessing path at "
+        f"{measured['native']['edges_per_second']:,.0f} edges/s native vs "
+        f"{measured['baseline']['edges_per_second']:,.0f} baseline "
+        f"({ratio:.2f}x)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -417,6 +601,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="DIR",
         help="directory to write metrics snapshots for CI upload",
+    )
+    parser.add_argument(
+        "--require-native",
+        action="store_true",
+        help="fail unless the numba kernels are actually jitted and the "
+        "native multiprocessing path clears the 5x edges/sec floor "
+        "(the CI native-probe leg)",
     )
     args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
@@ -470,6 +661,9 @@ def main(argv: list[str] | None = None) -> int:
         lambda: smoke_degree_reader(root),
         lambda: smoke_straggler_queue(root, args.artifact_dir),
         lambda: smoke_socket_sink(root, args.artifact_dir),
+        lambda: smoke_kernel_identity(
+            root, args.artifact_dir, args.require_native
+        ),
     ):
         code = guard()
         if code != 0:
