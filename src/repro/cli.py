@@ -50,6 +50,14 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
         help="execution backend for rank work",
     )
     p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the chosen backend (threads, processes, or "
+        "elastic pool members); default: the backend's own sizing",
+    )
+    p.add_argument(
         "--scheduler",
         choices=["static", "queue"],
         default="static",
@@ -107,12 +115,21 @@ def _resolve_scheduler(args: argparse.Namespace):
     return None
 
 
+def _resolve_cli_backend(args: argparse.Namespace):
+    """``--backend`` (+ optional ``--workers``) → a name or an instance."""
+    if getattr(args, "workers", None) is not None:
+        from repro.parallel.backends import make_backend
+
+        return make_backend(args.backend, args.workers)
+    return args.backend
+
+
 def _run_config_from_args(args: argparse.Namespace, **overrides):
     """Fold the shared runtime flags into a :class:`repro.RunConfig`."""
     from repro.engine import RunConfig
 
     fields = dict(
-        backend=args.backend,
+        backend=_resolve_cli_backend(args),
         scheduler=_resolve_scheduler(args),
         memory_budget_entries=args.memory_budget,
         kernel=getattr(args, "kernel", "auto"),
@@ -282,7 +299,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     gen = ParallelKroneckerGenerator(
         design.to_chain(),
         cluster,
-        backend=args.backend,
+        backend=_resolve_cli_backend(args),
         scheduler=_resolve_scheduler(args),
         max_retries=args.max_retries,
         rank_timeout_s=args.rank_timeout,

@@ -41,6 +41,10 @@ high-water mark, reset at the start of every run), ``engine.queue_depth``
 (peak in-flight tasks, streaming path), ``engine.worker_utilization``
 (busy worker-seconds over ``workers × wall``), and
 ``engine.straggler_gap_s`` (slowest final attempt minus the median).
+Elastic backends add ``engine.workers_active`` (live members),
+``engine.revocations``, ``engine.lease_expiries``, and
+``engine.reassigned_tasks`` (tasks resubmitted after losing their
+worker — also incremented by ``run_iter`` for broken process pools).
 
 NOTE Imports from ``repro.parallel`` are function-local only — see
 :mod:`repro.engine.plan` on the import cycle.
@@ -237,6 +241,7 @@ def execute(
     max_retries: int = 0,
     rank_timeout_s: float | None = None,
     failure_injector: Callable[[int, int], None] | None = None,
+    scale_policy: Callable | None = None,
 ) -> EngineResult:
     """Run ``plan`` through ``sink`` — the one generation loop.
 
@@ -256,6 +261,19 @@ def execute(
     — is identical either way.  ``failure_injector`` is called as
     ``injector(rank, attempt)`` inside the worker, before the kernel —
     the adversary hook the failure tests drive.
+
+    On an elastic backend (:class:`~repro.typing.ElasticBackend`, e.g.
+    :class:`~repro.runtime.elastic.ElasticWorkerPool`) the engine binds
+    the pool's churn metrics into ``metrics``, bounds the streaming
+    in-flight window by the pool's *live* worker count, and installs
+    ``scale_policy`` (a ``PoolStats -> target size | None`` callable
+    consulted on submit/completion/tick — the autoscaler hook).  Passing
+    ``scale_policy`` with a non-elastic backend raises
+    :class:`~repro.errors.GenerationError`.  Membership churn never
+    changes output: lost tasks are reassigned with their original
+    identity and the reorder buffer still commits in ascending rank
+    order, so shard bytes, ``manifest.json``, and resume behavior match
+    a static run exactly.
     """
     cfg = resolve_run_config(
         "execute",
@@ -287,6 +305,20 @@ def execute(
         )
     if scheduler is None:
         scheduler = StaticScheduler()
+    from repro.typing import ElasticBackend
+
+    elastic = isinstance(executor.backend, ElasticBackend)
+    if scale_policy is not None and not elastic:
+        raise GenerationError(
+            "scale_policy requires an elastic backend "
+            "(repro.runtime.elastic.ElasticWorkerPool); got "
+            f"{getattr(executor.backend, 'name', type(executor.backend).__name__)!r}"
+        )
+    if elastic:
+        if metrics is not None:
+            executor.backend.bind_metrics(metrics)
+        if scale_policy is not None:
+            executor.backend.set_scale_policy(scale_policy)
     if metrics is not None:
         # Gauges persist across runs on a reused registry; a small
         # second run must not report the first run's peak/depth.
@@ -416,9 +448,16 @@ def execute(
 
             max_in_flight = getattr(scheduler, "max_in_flight", None)
             if max_in_flight is None:
-                from repro.parallel.backends import backend_worker_count
+                if elastic:
+                    # The window must track the *live* membership as
+                    # workers join and leave; run_iter re-evaluates the
+                    # callable before each submission (clamped >= 1 so
+                    # an empty pool queues instead of stalling).
+                    max_in_flight = executor.backend.worker_count
+                else:
+                    from repro.parallel.backends import backend_worker_count
 
-                max_in_flight = backend_worker_count(executor.backend)
+                    max_in_flight = backend_worker_count(executor.backend)
             results_by_index: Dict[int, TaskOutcome] = {}
             reports_by_index: Dict[int, RankReport] = {}
             span_cm = (

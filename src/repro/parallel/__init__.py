@@ -32,6 +32,7 @@ from repro.parallel.backends import (
     default_start_method,
     get_backend,
     list_backends,
+    make_backend,
     resolve_backend,
 )
 from repro.parallel.scaling import ScalingPoint, ScalingStudy, measure_rank_rate
@@ -78,6 +79,7 @@ __all__ = [
     "default_start_method",
     "get_backend",
     "list_backends",
+    "make_backend",
     "resolve_backend",
     "ScalingPoint",
     "ScalingStudy",

@@ -20,8 +20,14 @@ disagree.  Three implementations ship:
   inputs crosses the process boundary — the algorithm's no-communication
   property, enforced by construction).
 
+A fourth registry entry, ``"elastic"``, resolves to
+:class:`repro.runtime.elastic.ElasticWorkerPool` — a membership layer
+over a streaming inner backend whose workers can join, drain, or be
+revoked mid-run (byte-identical output under churn).
+
 Backends are registered by name; :func:`get_backend` is what the CLI's
-``--backend`` flag and the generator's string-accepting entry points use.
+``--backend`` flag and the generator's string-accepting entry points use;
+:func:`make_backend` additionally sizes the worker pool.
 """
 
 from __future__ import annotations
@@ -211,6 +217,15 @@ class MultiprocessingBackend:
         self._executor = None
 
     def _ensure_executor(self):
+        if self._executor is not None and getattr(self._executor, "_broken", False):
+            # One dead worker process poisons the whole
+            # ProcessPoolExecutor (every later submit raises
+            # BrokenProcessPool).  The work itself is deterministic and
+            # re-runnable, so discard the carcass and let a fresh pool
+            # take its place instead of staying broken for the rest of
+            # the run.
+            self._executor.shutdown(wait=False)
+            self._executor = None
         if self._executor is None:
             import multiprocessing as mp
             from concurrent.futures import ProcessPoolExecutor
@@ -222,7 +237,16 @@ class MultiprocessingBackend:
         return self._executor
 
     def submit(self, fn: Callable[[T], R], item: T) -> WorkHandle:
-        return self._ensure_executor().submit(fn, item)
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            return self._ensure_executor().submit(fn, item)
+        except BrokenProcessPool:
+            # The pool broke between the health check and the submit;
+            # rebuild once and resubmit (a second break propagates).
+            self._executor.shutdown(wait=False)
+            self._executor = None
+            return self._ensure_executor().submit(fn, item)
 
     def as_completed(
         self, handles: Sequence[WorkHandle]
@@ -249,10 +273,19 @@ class MultiprocessingBackend:
             self._executor = None
 
 
+def _default_elastic_pool() -> Backend:
+    """Registry factory for ``--backend elastic`` (lazy import: the pool
+    lives in :mod:`repro.runtime.elastic`, above this module)."""
+    from repro.runtime.elastic import ElasticWorkerPool
+
+    return ElasticWorkerPool(workers=max(1, (os.cpu_count() or 1)))
+
+
 _BACKENDS: Dict[str, Callable[[], Backend]] = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "multiprocessing": MultiprocessingBackend,
+    "elastic": _default_elastic_pool,
 }
 
 
@@ -274,6 +307,37 @@ def get_backend(name: str) -> Backend:
             f"unknown backend {name!r}; choose from {list_backends()}"
         ) from None
     return factory()
+
+
+def make_backend(name: str, workers: int | None = None) -> Backend:
+    """Instantiate a registered backend sized to ``workers``.
+
+    ``workers=None`` defers to the backend's own default sizing (same as
+    :func:`get_backend`).  ``serial`` accepts only 1; ``thread`` /
+    ``multiprocessing`` size their pools; ``elastic`` sets the initial
+    member count.
+    """
+    if workers is None:
+        return get_backend(name)
+    if workers < 1:
+        raise GenerationError(f"workers must be >= 1, got {workers}")
+    if name == "serial":
+        if workers != 1:
+            raise GenerationError(
+                f"the serial backend is single-worker; got workers={workers}"
+            )
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(max_workers=workers)
+    if name == "multiprocessing":
+        return MultiprocessingBackend(processes=workers)
+    if name == "elastic":
+        from repro.runtime.elastic import ElasticWorkerPool
+
+        return ElasticWorkerPool(workers=workers)
+    raise GenerationError(
+        f"unknown backend {name!r}; choose from {list_backends()}"
+    )
 
 
 def resolve_backend(backend: BackendLike) -> Backend:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import errno
 import hashlib
+import itertools
 import json
 import os
 from dataclasses import dataclass, field
@@ -97,6 +98,14 @@ def file_checksum(path: str | Path, *, chunk_size: int = 1 << 20) -> str:
 
 
 # -- atomic writes ------------------------------------------------------------
+#: Per-process sequence keeping concurrent :class:`ShardWriter` temp files
+#: distinct even for the *same* target path.  Under elastic execution a
+#: revoked worker's ghost thread can still be streaming a shard while the
+#: reassigned task rewrites it in the same process; a pid-only suffix
+#: would interleave the two temp files.  With unique temps, each writer
+#: completes independently and the (deterministic, identical) content is
+#: renamed into place atomically whichever finishes last.
+_WRITER_SEQ = itertools.count()
 def atomic_write_bytes(path: str | Path, data: bytes, *, fsync: bool = True) -> None:
     """Write ``data`` to ``path`` atomically: temp file → fsync → rename.
 
@@ -146,7 +155,9 @@ class ShardWriter:
 
     def __init__(self, path: str | Path, *, fsync: bool = True):
         self.path = Path(path)
-        self._tmp = self.path.with_name(f".{self.path.name}.tmp.{os.getpid()}")
+        self._tmp = self.path.with_name(
+            f".{self.path.name}.tmp.{os.getpid()}.{next(_WRITER_SEQ)}"
+        )
         self._fsync = fsync
         self._digest = hashlib.sha256()
         self._size = 0

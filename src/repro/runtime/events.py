@@ -27,13 +27,17 @@ class RankEvents:
     ``on_retry(rank, attempt, delay_s, error)`` — a transient failure was
     classified and the rank will be retried after ``delay_s``;
     ``on_straggler(rank, elapsed_s, median_s)`` — a rank came in slower
-    than the straggler threshold relative to the round's median.
+    than the straggler threshold relative to the round's median;
+    ``on_reassigned(rank, attempt, error)`` — the worker holding the
+    rank's lease vanished (revocation / missed heartbeats) and the same
+    attempt was handed to another worker.
     """
 
     on_rank_start: Optional[Callable[[int, int], None]] = None
     on_rank_done: Optional[Callable[[int, float, int], None]] = None
     on_retry: Optional[Callable[[int, int, float, BaseException], None]] = None
     on_straggler: Optional[Callable[[int, float, float], None]] = None
+    on_reassigned: Optional[Callable[[int, int, BaseException], None]] = None
 
     # -- emit helpers (None-safe) -------------------------------------------
     def rank_start(self, rank: int, attempt: int) -> None:
@@ -52,6 +56,10 @@ class RankEvents:
         if self.on_straggler is not None:
             self.on_straggler(rank, elapsed_s, median_s)
 
+    def reassigned(self, rank: int, attempt: int, error: BaseException) -> None:
+        if self.on_reassigned is not None:
+            self.on_reassigned(rank, attempt, error)
+
 
 class ConsoleProgress:
     """Prints one line per rank event — the CLI's live progress view."""
@@ -66,6 +74,7 @@ class ConsoleProgress:
             on_rank_done=self._rank_done,
             on_retry=self._retry,
             on_straggler=self._straggler,
+            on_reassigned=self._reassigned,
         )
 
     def _rank_done(self, rank: int, elapsed_s: float, attempt: int) -> None:
@@ -87,5 +96,11 @@ class ConsoleProgress:
     def _straggler(self, rank: int, elapsed_s: float, median_s: float) -> None:
         print(
             f"  rank {rank} straggled: {elapsed_s:.4f}s vs median {median_s:.4f}s",
+            file=self.stream,
+        )
+
+    def _reassigned(self, rank: int, attempt: int, error: BaseException) -> None:
+        print(
+            f"  rank {rank} lost its worker ({error}); reassigned",
             file=self.stream,
         )

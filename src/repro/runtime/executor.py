@@ -40,12 +40,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from concurrent.futures import BrokenExecutor
+
 from repro.errors import (
     FatalRankError,
     GenerationError,
     RankTimeoutError,
     RetryExhaustedError,
     TransientRankError,
+    WorkerLostError,
 )
 from repro.runtime.events import RankEvents
 from repro.runtime.metrics import MetricsRegistry
@@ -302,6 +305,13 @@ class RankExecutor:
     backoff_base_s / backoff_cap_s / jitter:
         Retry delay is ``min(cap, base * 2**attempt) * (1 + jitter * U)``
         with ``U ~ Uniform[0, 1)`` from the injectable ``rng``.
+    max_reassignments:
+        How many times one task may lose its worker
+        (:class:`~repro.errors.WorkerLostError` / a broken pool) and be
+        handed to another, *without* consuming its retry budget — worker
+        churn says nothing about the task.  Exceeding the cap raises
+        :class:`~repro.errors.RetryExhaustedError` so a pool that eats
+        every worker still terminates.
     metrics / tracer / events:
         Observability hooks; all optional.
     clock / sleep / rng:
@@ -313,6 +323,7 @@ class RankExecutor:
         backend: Backend,
         *,
         max_retries: int = 0,
+        max_reassignments: int = 8,
         rank_timeout_s: float | None = None,
         straggler_factor: float = 3.0,
         backoff_base_s: float = 0.05,
@@ -327,12 +338,17 @@ class RankExecutor:
     ) -> None:
         if max_retries < 0:
             raise TransientRankError(f"max_retries must be >= 0, got {max_retries}")
+        if max_reassignments < 0:
+            raise TransientRankError(
+                f"max_reassignments must be >= 0, got {max_reassignments}"
+            )
         if rank_timeout_s is not None and rank_timeout_s <= 0:
             raise TransientRankError(
                 f"rank_timeout_s must be positive, got {rank_timeout_s}"
             )
         self.backend = backend
         self.max_retries = max_retries
+        self.max_reassignments = max_reassignments
         self.rank_timeout_s = rank_timeout_s
         self.straggler_factor = straggler_factor
         self.backoff_base_s = backoff_base_s
@@ -480,7 +496,7 @@ class RankExecutor:
         items: Sequence,
         *,
         injector: Callable[[int, int], None] | None = None,
-        max_in_flight: int | None = None,
+        max_in_flight: int | Callable[[], int] | None = None,
         submit_hook: Callable[[Tuple[int, ...]], Optional[int]] | None = None,
     ) -> Iterator[TaskCompletion]:
         """Run ``fn`` over ``items``, yielding completions as they land.
@@ -508,23 +524,44 @@ class RankExecutor:
         flight would deadlock, so that case raises
         :class:`~repro.errors.GenerationError`.
 
+        ``max_in_flight`` may also be a zero-arg callable, re-evaluated
+        before each submission — how an elastic pool's *current* worker
+        count bounds the window as members join and leave (clamped to at
+        least 1 so a momentarily empty pool queues instead of stalling).
+
+        A task whose worker vanished mid-flight
+        (:class:`~repro.errors.WorkerLostError` from an elastic pool, or
+        a broken process pool) is *reassigned*: resubmitted with its
+        original task identity and an unchanged attempt counter, so
+        injector schedules, retry budgets, and commit order are exactly
+        those of a churn-free run.  Reassignments are capped by
+        ``max_reassignments`` and counted in ``engine.reassigned_tasks``.
+
         Map-only backends are adapted via :func:`as_streaming` (they run
         correctly but without overlap).  Raises exactly like
         :meth:`run` on fatal or retry-exhausted failures.
         """
         items = list(items)
         n = len(items)
-        if max_in_flight is not None and max_in_flight < 1:
+        if callable(max_in_flight):
+            dynamic_limit = max_in_flight
+            limit = lambda: max(1, int(dynamic_limit()))  # noqa: E731
+        elif max_in_flight is None:
+            limit = lambda: max(1, n)  # noqa: E731
+        elif max_in_flight < 1:
             raise GenerationError(
                 f"max_in_flight must be >= 1, got {max_in_flight}"
             )
-        limit = max_in_flight if max_in_flight is not None else max(1, n)
+        else:
+            static_limit = max_in_flight
+            limit = lambda: static_limit  # noqa: E731
         reports = [RankReport(rank=i) for i in range(n)]
         if self.metrics is not None:
             self.metrics.gauge("ranks.total").set(n)
         backend = as_streaming(self.backend)
         pending: List[int] = list(range(n))
         attempts: Dict[int, int] = {i: 0 for i in range(n)}
+        reassignments: Dict[int, int] = {i: 0 for i in range(n)}
         in_flight: Dict[object, int] = {}
         spans: Dict[int, Span] = {}
         successes: List[float] = []
@@ -557,7 +594,7 @@ class RankExecutor:
             in_flight[backend.submit(_guarded_call, task)] = idx
 
         def fill() -> None:
-            while pending and len(in_flight) < limit:
+            while pending and len(in_flight) < limit():
                 if submit_hook is None:
                     choice = pending.pop(0)
                 else:
@@ -592,7 +629,38 @@ class RankExecutor:
                 handle = next(iter(backend.as_completed(list(in_flight))))
                 idx = in_flight.pop(handle)
                 attempt = attempts[idx]
-                outcome = self._classify(handle.result())
+                try:
+                    raw = handle.result()
+                except (WorkerLostError, BrokenExecutor) as exc:
+                    # The worker holding this task's lease vanished
+                    # (revocation / missed heartbeats / dead pool
+                    # process).  That is a statement about the *worker*,
+                    # not the task: reassign with the original identity
+                    # and an unchanged attempt counter, so injector
+                    # schedules and retry budgets are those of a
+                    # churn-free run.
+                    span = spans.pop(idx, None)
+                    if span is not None:
+                        span.end_s = self._clock()
+                        span.attributes["ok"] = False
+                        span.attributes["reassigned"] = True
+                        self.tracer.sink.record(span)
+                    reassignments[idx] += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("engine.reassigned_tasks").inc()
+                    if reassignments[idx] > self.max_reassignments:
+                        if self.metrics is not None:
+                            self.metrics.counter("ranks.failed_exhausted").inc()
+                        raise RetryExhaustedError(
+                            f"task {idx} lost its worker "
+                            f"{reassignments[idx]} time(s), reassignment "
+                            f"budget {self.max_reassignments} exhausted: "
+                            f"{exc}"
+                        ) from exc
+                    self.events.reassigned(idx, attempt, exc)
+                    submit(idx)
+                    continue
+                outcome = self._classify(raw)
                 span = spans.pop(idx, None)
                 if span is not None:
                     span.end_s = self._clock()

@@ -104,9 +104,11 @@ class TestBackendWorkerCount:
 
 class TestRegistry:
     def test_all_names_registered(self):
-        assert list_backends() == ["serial", "thread", "multiprocessing"]
+        assert list_backends() == ["serial", "thread", "multiprocessing", "elastic"]
 
-    @pytest.mark.parametrize("name", ["serial", "thread", "multiprocessing"])
+    @pytest.mark.parametrize(
+        "name", ["serial", "thread", "multiprocessing", "elastic"]
+    )
     def test_get_backend_returns_fresh_instance(self, name):
         a, b = get_backend(name), get_backend(name)
         assert a.name == name

@@ -7,6 +7,8 @@ stray self-loop, a tampered file, a wrong prediction) and asserts the
 corresponding check reports it.
 """
 
+from dataclasses import dataclass as _dataclass
+
 import numpy as np
 import pytest
 
@@ -467,3 +469,167 @@ class TestShmReclaimOnFailure:
         assert sum(b.nnz for b in blocks) == DESIGN.to_chain().nnz
         assert shm_segment_names() == before
         assert metrics.gauge("engine.shm_leaked").value == 0
+
+
+# -- worker churn at the worst possible moments -------------------------------
+def _hold_tile_open(rank, attempt):
+    """Injected delay so tiles are genuinely in flight when the
+    adversary strikes (runs inside the worker, before the kernel)."""
+    import time
+
+    time.sleep(0.02)
+
+
+@_dataclass(frozen=True)
+class _KillWorkerProcessOnce:
+    """Hard-kill the worker process the first time the chosen rank is
+    dispatched; later dispatches see the flag file and run normally.
+    Module-level and frozen so the multiprocessing pool can pickle it.
+    """
+
+    flag_dir: str
+    rank: int
+
+    def __call__(self, rank, attempt):
+        import os
+        from pathlib import Path
+
+        if rank == self.rank:
+            flag = Path(self.flag_dir) / "killed"
+            if not flag.exists():
+                flag.write_text("x")
+                os._exit(21)
+
+
+class TestRevocationChaos:
+    """Spot-style revocation at the nastiest points in a run.
+
+    The invariant under test is the elastic tentpole's hard guarantee:
+    whatever the churn schedule — a worker killed mid-tile, a worker
+    killed between a rank's commit and the run's finalize, a whole
+    process pool broken — the shard bytes and manifest are identical to
+    an uninterrupted static run.
+    """
+
+    N_RANKS = 8
+
+    def _plan(self):
+        from repro.engine import plan_from_design
+
+        return plan_from_design(
+            DESIGN, self.N_RANKS, memory_budget_entries=63
+        )
+
+    def _reference(self, tmp_path):
+        from repro.engine import RunConfig, ShardSink, execute
+
+        ref = tmp_path / "reference"
+        execute(self._plan(), ShardSink(ref), config=RunConfig(backend="serial"))
+        return self._snapshot(ref)
+
+    @staticmethod
+    def _snapshot(directory):
+        from pathlib import Path
+
+        return {
+            p.name: p.read_bytes()
+            for p in sorted(Path(directory).iterdir())
+            if p.suffix == ".tsv" or p.name == "manifest.json"
+        }
+
+    def test_mid_tile_revocation_is_byte_identical(self, tmp_path):
+        from repro.engine import RunConfig, ShardSink, WorkQueueScheduler, execute
+        from repro.parallel import ThreadBackend
+        from repro.runtime import ChurnAction, ElasticWorkerPool, WorkerRevoker
+
+        reference = self._reference(tmp_path)
+        pool = ElasticWorkerPool(
+            ThreadBackend(max_workers=8), workers=3, lease_timeout_s=0.05
+        )
+        # At the first completion the other two members are holding
+        # tiles open (the injected delay guarantees it): the revocation
+        # lands mid-tile, busy member first.
+        WorkerRevoker(
+            [
+                ChurnAction(trigger="complete", at=1, op="revoke"),
+                ChurnAction(trigger="complete", at=2, op="add"),
+            ]
+        ).attach(pool)
+        out = tmp_path / "churned"
+        try:
+            execute(
+                self._plan(),
+                ShardSink(out),
+                config=RunConfig(backend=pool, scheduler=WorkQueueScheduler()),
+                failure_injector=_hold_tile_open,
+            )
+            assert pool.stats().revoked == 1
+        finally:
+            pool.shutdown()
+        assert self._snapshot(out) == reference
+
+    def test_revocation_between_commit_and_finalize(self, tmp_path):
+        from repro.engine import RunConfig, ShardSink, WorkQueueScheduler, execute
+        from repro.parallel import ThreadBackend
+        from repro.runtime import ElasticWorkerPool
+
+        reference = self._reference(tmp_path)
+        pool = ElasticWorkerPool(
+            ThreadBackend(max_workers=8), workers=3, lease_timeout_s=0.05
+        )
+
+        class RevokeAfterCommit(ShardSink):
+            """Kills a worker right after the 3rd rank commits — inside
+            the window between commit and finalize, where later ranks
+            are still queued or in flight."""
+
+            commits = 0
+
+            def commit(inner_self, task, outcome):
+                super().commit(task, outcome)
+                inner_self.commits += 1
+                if inner_self.commits == 3:
+                    pool.revoke_workers(1)
+                    pool.add_workers(1)
+
+        out = tmp_path / "late-churn"
+        sink = RevokeAfterCommit(out)
+        try:
+            execute(
+                self._plan(),
+                sink,
+                config=RunConfig(backend=pool, scheduler=WorkQueueScheduler()),
+                failure_injector=_hold_tile_open,
+            )
+            assert pool.stats().revoked == 1
+        finally:
+            pool.shutdown()
+        assert sink.commits == self.N_RANKS
+        assert self._snapshot(out) == reference
+
+    def test_worker_process_death_rebuilds_pool_and_matches(self, tmp_path):
+        from repro.engine import RunConfig, ShardSink, WorkQueueScheduler, execute
+        from repro.parallel import MultiprocessingBackend
+        from repro.runtime import MetricsRegistry
+
+        reference = self._reference(tmp_path)
+        backend = MultiprocessingBackend(processes=2)
+        metrics = MetricsRegistry()
+        out = tmp_path / "process-death"
+        try:
+            execute(
+                self._plan(),
+                ShardSink(out),
+                config=RunConfig(
+                    backend=backend, scheduler=WorkQueueScheduler()
+                ),
+                metrics=metrics,
+                failure_injector=_KillWorkerProcessOnce(str(tmp_path), 4),
+            )
+        finally:
+            backend.shutdown()
+        assert (tmp_path / "killed").exists()
+        assert self._snapshot(out) == reference
+        snap = metrics.snapshot()
+        assert snap["counters"]["engine.reassigned_tasks"] >= 1
+        assert snap["gauges"].get("engine.shm_leaked", 0) == 0

@@ -32,6 +32,7 @@ from repro.design import PowerLawDesign
 from repro.engine import (
     AssemblySink,
     DegreeSink,
+    RunConfig,
     ShardSink,
     StaticScheduler,
     WorkQueueScheduler,
@@ -294,3 +295,114 @@ class TestByteIdentityAcrossTransports:
         assert shard_bytes(direct) == shard_bytes(routed)
         assert manifest_identity_fields(direct) == manifest_identity_fields(routed)
         assert s1.total_edges == s2.total_edges == DESIGN.num_edges
+
+
+class TestByteIdentityUnderChurn:
+    """The elastic hard invariant, across transports: a run whose worker
+    pool is revoked mid-tile and regrown must collect the exact bytes of
+    an uninterrupted static run."""
+
+    CHURN = (
+        ("dispatch", 2, "revoke", 1, False),
+        ("dispatch", 4, "revoke", 1, True),
+        ("complete", 1, "add", 2, False),
+        ("complete", 3, "remove", 1, False),
+    )
+
+    def _churn_pool(self):
+        from repro.parallel.backends import ThreadBackend
+        from repro.runtime import ChurnAction, ElasticWorkerPool, WorkerRevoker
+
+        pool = ElasticWorkerPool(
+            ThreadBackend(max_workers=8), workers=3, lease_timeout_s=0.05
+        )
+        revoker = WorkerRevoker(
+            [
+                ChurnAction(
+                    trigger=t, at=a, op=op, workers=w, silent=silent
+                )
+                for t, a, op, w, silent in self.CHURN
+            ]
+        ).attach(pool)
+        return pool, revoker
+
+    @pytest.mark.parametrize("transport", ["inproc", "socket"])
+    @pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+    def test_collected_output_identical_under_churn(
+        self, baseline_static, tmp_path, transport, scheduler_name
+    ):
+        plan, base_dir = baseline_static
+        pool, revoker = self._churn_pool()
+        out = tmp_path / f"churn-{transport}-{scheduler_name}"
+        try:
+            result = execute_over_transport(
+                plan,
+                ShardSink(out),
+                transport=transport,
+                config=RunConfig(
+                    backend=pool, scheduler=SCHEDULERS[scheduler_name]()
+                ),
+            )
+        finally:
+            pool.shutdown()
+        assert any(a.op == "revoke" for a, _ in revoker.fired)
+        assert shard_bytes(out) == shard_bytes(base_dir)
+        assert manifest_identity_fields(out) == manifest_identity_fields(base_dir)
+        assert result.sink_result.total_edges == DESIGN.num_edges
+
+    @pytest.fixture()
+    def baseline_static(self, tmp_path):
+        plan = make_plan(6)
+        directory = tmp_path / "baseline"
+        execute(plan, ShardSink(directory), scheduler=StaticScheduler(batch_size=1))
+        return plan, directory
+
+    def test_direct_shard_output_identical_under_churn(
+        self, baseline_static, tmp_path
+    ):
+        plan, base_dir = baseline_static
+        pool, revoker = self._churn_pool()
+        out = tmp_path / "churn-direct"
+        try:
+            execute(
+                plan,
+                ShardSink(out),
+                config=RunConfig(backend=pool, scheduler=WorkQueueScheduler()),
+            )
+        finally:
+            pool.shutdown()
+        assert any(a.op == "revoke" for a, _ in revoker.fired)
+        assert shard_bytes(out) == shard_bytes(base_dir)
+        assert manifest_identity_fields(out) == manifest_identity_fields(base_dir)
+
+    def test_resume_after_churned_crash_matches_clean(self, tmp_path):
+        from repro.parallel import generate_to_disk
+        from repro.runtime import ChurnAction, ElasticWorkerPool, WorkerRevoker
+        from repro.runtime.checkpoint import CrashInjector, SimulatedCrash
+
+        clean = tmp_path / "clean"
+        generate_to_disk(DESIGN, 4, clean)
+        churned = tmp_path / "churned"
+        pool = ElasticWorkerPool(workers=2, lease_timeout_s=0.05)
+        WorkerRevoker(
+            [ChurnAction(trigger="dispatch", at=1, op="revoke")]
+        ).attach(pool)
+        try:
+            with pytest.raises(SimulatedCrash):
+                generate_to_disk(
+                    DESIGN,
+                    4,
+                    churned,
+                    config=RunConfig(backend=pool),
+                    crash_hook=CrashInjector(2),
+                )
+        finally:
+            pool.shutdown()
+        # Resume the churn-interrupted run on a fresh static backend: the
+        # manifest left behind must be a valid checkpoint.
+        summary = generate_to_disk(
+            DESIGN, 4, churned, config=RunConfig(resume=True)
+        )
+        assert summary.skipped_ranks == 2
+        assert shard_bytes(churned) == shard_bytes(clean)
+        assert manifest_identity_fields(churned) == manifest_identity_fields(clean)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark smoke target: ``python tools/bench_smoke.py``.
 
-Six cheap CI guards:
+Eight cheap CI guards:
 
 1. the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot test
    only), asserting a machine-readable metrics JSON was produced — the
@@ -35,7 +35,15 @@ Six cheap CI guards:
    recorded ``BENCH_baseline.json`` / ``BENCH_native.json``
    trajectories.  ``--require-native`` (the CI native-probe leg)
    additionally demands real jitted kernels and a >=5x edges/sec win
-   over the same-machine baseline measurement.
+   over the same-machine baseline measurement;
+8. the elastic-churn guard: a streamed run on an ``ElasticWorkerPool``
+   that loses two workers mid-run (one loud revocation, one silent
+   spot-style kill detected by lease expiry) and gains two replacements
+   must produce shards and manifest byte-identical to the same run on a
+   static pool, within 2.5x the static wall-clock, with the churn
+   metrics (``engine.revocations``, ``engine.reassigned_tasks``,
+   ``engine.lease_expiries``, ``engine.workers_active``) recorded —
+   elasticity stays free of correctness cost and cheap in time.
 
 With ``--artifact-dir`` the tiled, straggler, and socket runs' metrics
 snapshots plus the updated ``BENCH_*.json`` trajectories are written
@@ -585,6 +593,130 @@ def smoke_kernel_identity(
     return 0
 
 
+def smoke_elastic_churn(root: Path, artifact_dir: Path | None) -> int:
+    """Guard 8: revoke-2-add-2 churn must cost nothing in bytes and at
+    most 2.5x the static wall-clock."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.design import PowerLawDesign
+    from repro.engine import RunConfig, ShardSink, WorkQueueScheduler, execute, plan_from_design
+    from repro.parallel.backends import ThreadBackend
+    from repro.runtime import (
+        ChurnAction,
+        ElasticWorkerPool,
+        MetricsRegistry,
+        WorkerRevoker,
+    )
+
+    design = PowerLawDesign([3, 4, 5], "center")
+    n_ranks = 8
+    workers = 4
+    wall_ceiling = 2.5
+    delay = StragglerDelay(slow_rank=-1, base_s=0.02)  # uniform small delay
+    plan = plan_from_design(design, n_ranks)
+
+    with tempfile.TemporaryDirectory(prefix="repro-elastic-smoke-") as tmp:
+        static_dir = Path(tmp) / "static"
+        backend = ThreadBackend(max_workers=workers)
+        t0 = time.perf_counter()
+        execute(
+            plan,
+            ShardSink(static_dir),
+            config=RunConfig(backend=backend, scheduler=WorkQueueScheduler()),
+            failure_injector=delay,
+        )
+        static_wall = time.perf_counter() - t0
+        backend.shutdown()
+
+        churned_dir = Path(tmp) / "churned"
+        metrics = MetricsRegistry()
+        pool = ElasticWorkerPool(
+            ThreadBackend(max_workers=2 * workers),
+            workers=workers,
+            lease_timeout_s=0.05,
+        )
+        revoker = WorkerRevoker(
+            [
+                ChurnAction(trigger="dispatch", at=3, op="revoke"),
+                ChurnAction(trigger="dispatch", at=6, op="revoke", silent=True),
+                ChurnAction(trigger="complete", at=2, op="add"),
+                ChurnAction(trigger="complete", at=4, op="add"),
+            ]
+        ).attach(pool)
+        t0 = time.perf_counter()
+        try:
+            execute(
+                plan,
+                ShardSink(churned_dir),
+                config=RunConfig(backend=pool, scheduler=WorkQueueScheduler()),
+                metrics=metrics,
+                failure_injector=delay,
+            )
+            churned_wall = time.perf_counter() - t0
+            snapshot = metrics.snapshot()
+        finally:
+            pool.shutdown()
+
+        if len(revoker.fired) != 4:
+            print(
+                f"bench-smoke: only {len(revoker.fired)} of 4 churn actions "
+                "fired — the schedule did not engage",
+                file=sys.stderr,
+            )
+            return 1
+        for name in [f"edges.{r}.tsv" for r in range(n_ranks)] + ["manifest.json"]:
+            if (static_dir / name).read_bytes() != (churned_dir / name).read_bytes():
+                print(
+                    f"bench-smoke: {name} differs between static and "
+                    "churned elastic runs",
+                    file=sys.stderr,
+                )
+                return 1
+        if churned_wall > wall_ceiling * static_wall:
+            print(
+                f"bench-smoke: churned wall {churned_wall:.3f}s exceeds "
+                f"{wall_ceiling}x static wall {static_wall:.3f}s",
+                file=sys.stderr,
+            )
+            return 1
+        counters = snapshot["counters"]
+        if counters.get("engine.revocations", 0) != 2:
+            print(
+                f"bench-smoke: expected 2 revocations, metrics recorded "
+                f"{counters.get('engine.revocations', 0)}",
+                file=sys.stderr,
+            )
+            return 1
+        if counters.get("engine.reassigned_tasks", 0) < 1:
+            print(
+                "bench-smoke: churn reassigned no tasks — the revocations "
+                "hit no in-flight work",
+                file=sys.stderr,
+            )
+            return 1
+    snapshot["run"] = {
+        "command": "bench-smoke elastic-churn",
+        "ranks": n_ranks,
+        "workers": workers,
+        "churn": "revoke-2-add-2 (one silent)",
+        "static_wall_s": static_wall,
+        "churned_wall_s": churned_wall,
+        "wall_ceiling": wall_ceiling,
+    }
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        out = artifact_dir / "elastic_metrics.json"
+        out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"bench-smoke: wrote elastic-churn metrics to {out}", file=sys.stderr)
+    print(
+        "bench-smoke: OK — revoke-2-add-2 churn byte-identical to static "
+        f"({churned_wall:.3f}s vs {static_wall:.3f}s static, "
+        f"{counters.get('engine.reassigned_tasks', 0):.0f} reassigned, "
+        f"{counters.get('engine.lease_expiries', 0):.0f} lease expiries)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -664,6 +796,7 @@ def main(argv: list[str] | None = None) -> int:
         lambda: smoke_kernel_identity(
             root, args.artifact_dir, args.require_native
         ),
+        lambda: smoke_elastic_churn(root, args.artifact_dir),
     ):
         code = guard()
         if code != 0:
