@@ -9,7 +9,14 @@ Subcommands mirror the paper's workflow:
   finish an interrupted streamed run),
 * ``validate`` — realize a design and compare measured vs. predicted,
 * ``verify-shards`` — recompute shard checksums against manifest.json,
-* ``scale``    — run a Fig.-3-style rank-count sweep.
+* ``scale``    — run a Fig.-3-style rank-count sweep,
+* ``info``     — report optional-capability availability (kernels,
+  backends, transports, generator models) on this machine.
+
+``generate --model {kron,skg,noisy-skg}`` switches the generator model:
+the exact deterministic Kronecker design (default), plain stochastic
+Kronecker matched to the design's scale, or the noisy-initiator variant
+(arXiv:1102.5046) that repairs SKG's triangle deficiency.
 """
 
 from __future__ import annotations
@@ -197,6 +204,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(inproc queues, localhost TCP, or MPI point-to-point; mpi "
         "needs mpi4py and an mpiexec launch)",
     )
+    from repro.models import MODEL_CHOICES
+
+    p_gen.add_argument(
+        "--model",
+        choices=list(MODEL_CHOICES),
+        default="kron",
+        help="generator model: 'kron' realizes the exact design "
+        "(default), 'skg' runs plain stochastic Kronecker matched to "
+        "the design's scale, 'noisy-skg' adds per-level initiator noise "
+        "(arXiv:1102.5046); stochastic models need a streaming sink "
+        "(shards, degrees, or net)",
+    )
+    p_gen.add_argument(
+        "--model-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="stochastic-model seed (counter-based: the same seed gives "
+        "byte-identical shards on any backend/scheduler/budget)",
+    )
+    p_gen.add_argument(
+        "--noise",
+        type=float,
+        default=0.1,
+        metavar="B",
+        help="noisy-skg per-level noise bound (mu_l drawn from [-b, b])",
+    )
     _add_runtime_args(p_gen)
 
     p_val = sub.add_parser("validate", help="realize and check measured == predicted")
@@ -263,6 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the streamed degree-distribution comparison",
     )
+
+    sub.add_parser(
+        "info",
+        help="report which optional capabilities (native kernel, MPI, "
+        "backends, transports, generator models) this machine has",
+    )
     return parser
 
 
@@ -281,16 +321,36 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cli_model(args: argparse.Namespace, design: PowerLawDesign):
+    """``--model``/``--model-seed``/``--noise`` → a model instance, or
+    ``None`` for the deterministic-Kronecker default."""
+    if getattr(args, "model", "kron") == "kron":
+        return None
+    from repro.models import resolve_model
+
+    return resolve_model(
+        args.model, design=design, seed=args.model_seed, noise=args.noise
+    )
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.errors import GenerationError
     from repro.parallel import ParallelKroneckerGenerator, VirtualCluster
     from repro.runtime import ConsoleProgress, MetricsRegistry
     from repro.validate import audit_partition
 
     design = PowerLawDesign(args.star_sizes, args.self_loop)
+    model = _resolve_cli_model(args, design)
     if args.sink in ("shards", "net") or args.stream or args.resume:
-        return _cmd_generate_stream(args, design)
+        return _cmd_generate_stream(args, design, model)
     if args.sink == "degrees":
-        return _cmd_generate_degrees(args, design)
+        return _cmd_generate_degrees(args, design, model)
+    if model is not None:
+        raise GenerationError(
+            f"--model {args.model} needs a streaming sink; rerun with "
+            "--sink shards, --sink degrees, or --sink net (the in-memory "
+            "assemble path is deterministic-Kronecker only)"
+        )
     cluster = VirtualCluster(
         n_ranks=args.ranks, memory_budget_entries=args.memory_budget
     )
@@ -332,7 +392,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> int:
+def _cmd_generate_stream(
+    args: argparse.Namespace, design: PowerLawDesign, model=None
+) -> int:
     """The crash-safe streamed path of ``generate`` (--stream/--resume)."""
     from repro.errors import GenerationError
     from repro.parallel import generate_to_disk
@@ -351,6 +413,7 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
             resume=args.resume,
             scramble_seed=args.scramble_seed,
             transport=transport,
+            model=model,
         ),
         max_retries=args.max_retries,
         metrics=metrics,
@@ -384,16 +447,31 @@ def _cmd_generate_stream(args: argparse.Namespace, design: PowerLawDesign) -> in
     return 0
 
 
-def _cmd_generate_degrees(args: argparse.Namespace, design: PowerLawDesign) -> int:
+def _cmd_generate_degrees(
+    args: argparse.Namespace, design: PowerLawDesign, model=None
+) -> int:
     """``generate --sink degrees``: stream tiles straight into a degree
     accumulator (no edges are kept) and check the measured distribution
-    against the closed-form prediction."""
+    against the closed-form prediction.  Stochastic models skip the
+    exact check (their distribution is a draw, not a design) and report
+    the measured histogram summary instead."""
     from repro.parallel import streamed_degree_distribution
     from repro.validate import check_degree_distribution
 
     measured = streamed_degree_distribution(
-        design, args.ranks, config=_run_config_from_args(args)
+        design, args.ranks, config=_run_config_from_args(args, model=model)
     )
+    if model is not None:
+        print(
+            f"accumulated degrees of {measured.total_nnz():,} stored "
+            f"entries ({model.name} model, seed {model.seed}) across "
+            f"{args.ranks} ranks (budget {args.memory_budget:,} entries)"
+        )
+        print(
+            f"  distinct degrees: {len(measured):,}, "
+            f"max degree: {measured.max_degree():,}"
+        )
+        return 0
     check = check_degree_distribution(measured, design.degree_distribution)
     print(
         f"accumulated degrees of {design.num_edges:,} predicted edges "
@@ -552,6 +630,50 @@ def cmd_check_files(args: argparse.Namespace) -> int:
     return 0 if check.exact_match else 1
 
 
+def cmd_info(args: argparse.Namespace) -> int:
+    """Report which optional capabilities this machine actually has, so
+    "works here, fails there" surprises (no numba, no mpi4py, fork-only
+    platforms) are diagnosable in one command."""
+    import multiprocessing
+    import os
+    import platform
+
+    import numpy as np
+
+    from repro.kron import _fast
+    from repro.models import MODEL_CHOICES
+    from repro.net import list_transports, mpi_available
+    from repro.parallel.backends import default_start_method, list_backends
+
+    print(f"repro-graph {__version__}")
+    print(
+        f"python {platform.python_version()} on {platform.system().lower()}"
+        f", numpy {np.__version__}"
+    )
+    print("kernels:")
+    native = _fast.native_available()
+    print(f"  numba importable:   {'yes' if _fast.numba_available() else 'no'}")
+    print(f"  native available:   {'yes' if native else 'no'}")
+    # kernels_jitted() loads the kernels, which raises when unavailable.
+    jitted = "yes" if native and _fast.kernels_jitted() else "no"
+    print(f"  native jitted:      {jitted}")
+    allow_python = os.environ.get(_fast.ALLOW_PYTHON_ENV)
+    print(
+        f"  {_fast.ALLOW_PYTHON_ENV}: "
+        f"{allow_python if allow_python is not None else '(unset)'}"
+    )
+    print(f"backends: {', '.join(list_backends())}")
+    methods = multiprocessing.get_all_start_methods()
+    print(
+        f"start methods: {', '.join(methods)} "
+        f"(default: {default_start_method()})"
+    )
+    print(f"transports: {', '.join(list_transports())}", end="")
+    print(f" (mpi4py: {'yes' if mpi_available() else 'no'})")
+    print(f"generator models: {', '.join(MODEL_CHOICES)}")
+    return 0
+
+
 _COMMANDS = {
     "check-files": cmd_check_files,
     "verify-shards": cmd_verify_shards,
@@ -564,6 +686,7 @@ _COMMANDS = {
     "triangles": cmd_triangles,
     "spy": cmd_spy,
     "estimate": cmd_estimate,
+    "info": cmd_info,
 }
 
 

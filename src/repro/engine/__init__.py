@@ -43,6 +43,7 @@ from repro.engine.plan import (
     chain_fingerprint,
     plan_from_chain,
     plan_from_design,
+    plan_from_model,
     plan_from_partition,
 )
 from repro.engine.scheduler import StaticScheduler, WorkQueueScheduler
@@ -65,6 +66,7 @@ __all__ = [
     "chain_fingerprint",
     "plan_from_chain",
     "plan_from_design",
+    "plan_from_model",
     "plan_from_partition",
     "StaticScheduler",
     "WorkQueueScheduler",

@@ -72,6 +72,14 @@ class RunConfig:
     kernel:
         Generation kernel: ``"auto"`` (native when available),
         ``"numpy"`` (the oracle), or ``"native"`` (strict).
+    model:
+        Generator model: ``None`` or ``"kron"`` for the deterministic
+        Kronecker path (historical behaviour), ``"skg"`` /
+        ``"noisy-skg"`` to run the stochastic family matched to the
+        driver's design scale, or a
+        :class:`~repro.models.GeneratorModel` instance carrying its own
+        parameters and seed.  Honoured by ``generate_to_disk`` and
+        ``streamed_degree_distribution``; other drivers raise.
     """
 
     backend: object = None
@@ -82,6 +90,7 @@ class RunConfig:
     resume: bool = False
     scramble_seed: Optional[int] = None
     kernel: str = "auto"
+    model: object = None
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNEL_CHOICES:
@@ -89,6 +98,14 @@ class RunConfig:
                 f"unknown kernel {self.kernel!r}; choose one of "
                 f"{KERNEL_CHOICES}"
             )
+        if isinstance(self.model, str):
+            from repro.models import MODEL_CHOICES
+
+            if self.model not in MODEL_CHOICES:
+                raise GenerationError(
+                    f"unknown generator model {self.model!r}; choose one "
+                    f"of {MODEL_CHOICES}"
+                )
         if (
             self.memory_budget_entries is not None
             and self.memory_budget_entries < 1

@@ -1,12 +1,14 @@
 """The single generation loop: plan → schedule → execute → sink.
 
-One worker function (:func:`_run_rank_task`) forms a rank's
-``Ap = Bp ⊗ C`` through the bounded-memory tiled kernel
-(:func:`repro.kron.kron_tiles`), applies the plan's transforms (global
-column offset, design loop removal, vertex scramble) per tile, and
-streams the tiles into the sink's consumer — so peak memory per rank is
-``max(memory_budget_entries, largest single Bp row × nnz(C))`` instead
-of ``nnz(Bp) · nnz(C)``.
+One worker function (:func:`_run_rank_task`) streams a rank's tiles out
+of the plan's generator model (:meth:`GeneratorModel.tile_iter` — for
+the deterministic Kronecker model, ``Ap = Bp ⊗ C`` through the
+bounded-memory tiled kernel :func:`repro.kron.kron_tiles`; for the
+stochastic family, counter-seeded edge batches), applies the plan's
+transforms (design loop removal, vertex scramble) per tile, and streams
+the tiles into the sink's consumer — so peak memory per rank is bounded
+by ``memory_budget_entries`` (plus the model's single-row floor) instead
+of the whole rank block.
 
 :func:`execute` drives the whole run through the
 :class:`~repro.runtime.RankExecutor` (retry/backoff/timeout/straggler
@@ -55,7 +57,7 @@ from __future__ import annotations
 import statistics
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.engine.config import _UNSET, RunConfig, resolve_run_config
@@ -69,7 +71,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.kron import _fast
-from repro.kron.tiles import kron_tiles
+from repro.models import default_model
 from repro.runtime.events import RankEvents
 from repro.runtime.executor import ExecutionResult, RankExecutor, RankReport
 from repro.runtime.metrics import MetricsRegistry
@@ -84,15 +86,19 @@ if TYPE_CHECKING:
 class _RankWork:
     """Everything one worker invocation needs (picklable).
 
-    ``c`` is the materialized right factor — or ``None`` when the run
-    moves it through shared memory, in which case ``c_ref`` points at
-    the coordinator-owned segment and the worker attaches (cached per
-    process, zero-copy).  ``kernel`` is already resolved to a concrete
+    ``model`` produces the tiles (:meth:`GeneratorModel.tile_iter`); the
+    deterministic Kronecker singleton by default.  For that model ``c``
+    is the materialized right factor — or ``None`` when the run moves it
+    through shared memory, in which case ``c_ref`` points at the
+    coordinator-owned segment and the worker attaches (cached per
+    process, zero-copy).  Models without a shared factor ignore
+    ``b_local``/``col_base``/``c`` and read their per-rank ``spec``
+    instead.  ``kernel`` is already resolved to a concrete
     implementation (never ``"auto"``) by :func:`execute`.
     """
 
     rank: int
-    b_local: "COOMatrix"
+    b_local: Optional["COOMatrix"]
     col_base: int
     c: Optional["COOMatrix"]
     loop_vertex: Optional[int]
@@ -101,6 +107,8 @@ class _RankWork:
     consumer_factory: Callable
     kernel: str = "numpy"
     c_ref: object = None
+    spec: object = None
+    model: object = field(default_factory=default_model)
 
 
 @dataclass(frozen=True)
@@ -176,33 +184,28 @@ class EngineResult:
 
 
 def _run_rank_task(work: _RankWork) -> TaskOutcome:
-    """Worker: tile one rank's block into its consumer.
+    """Worker: stream one rank's tiles into its consumer.
 
-    The consumer is created *inside* the worker, per attempt, so a
-    retried rank starts from a clean slate; on any failure — including
-    ``BaseException`` like a simulated crash — the partial consumer
-    state is aborted before the error propagates.
+    The model produces global-coordinate tiles
+    (:meth:`GeneratorModel.tile_iter`); the worker applies the shared
+    transforms (loop removal, vertex scramble) and the peak-memory
+    accounting, identically for every model.  The consumer is created
+    *inside* the worker, per attempt, so a retried rank starts from a
+    clean slate; on any failure — including ``BaseException`` like a
+    simulated crash — the partial consumer state is aborted before the
+    error propagates.
     """
     t0 = time.perf_counter()
-    c = work.c
-    if c is None:
-        from repro.parallel.shm import attach_shared_coo
-
-        c = attach_shared_coo(work.c_ref)
     consumer = work.consumer_factory(work.rank)
     nnz = 0
     tiles = 0
     peak = 0
     try:
-        offset = work.col_base * c.shape[1]
-        for rows, cols, vals in kron_tiles(
-            work.b_local, c, work.max_tile_entries, kernel=work.kernel
-        ):
+        for rows, cols, vals in work.model.tile_iter(work):
             tiles += 1
             # Peak is the pre-transform tile size: the memory actually
             # held, before loop removal can shrink it.
             peak = max(peak, len(rows))
-            cols = cols + offset
             if work.loop_vertex is not None:
                 hit = (rows == work.loop_vertex) & (cols == work.loop_vertex)
                 if hit.any():
@@ -284,6 +287,7 @@ def execute(
             "checkpoint_dir",
             "resume",
             "scramble_seed",
+            "model",
         ),
         backend=_UNSET if backend is None else backend,
         scheduler=_UNSET if scheduler is None else scheduler,
@@ -325,23 +329,28 @@ def execute(
         metrics.gauge("engine.peak_tile_entries").set(0)
         metrics.gauge("engine.queue_depth").set(0)
     streaming = bool(getattr(scheduler, "streaming", False))
-    # Resolve the kernel once, coordinator-side: every worker gets a
-    # concrete "numpy"/"native" (a strict "native" request fails here,
-    # before any work is dispatched), and a native run compiles now so
-    # forked workers inherit the compiled code.
-    kernel = _fast.resolve_kernel(plan.kernel)
+    model = plan.model
+    # Resolve the kernel once, coordinator-side — resolution is
+    # model-owned: every worker gets a concrete "numpy"/"native" (a
+    # strict request the model cannot satisfy fails here, before any
+    # work is dispatched), and a native run compiles now so forked
+    # workers inherit the compiled code.
+    kernel = model.resolve_kernel(plan.kernel)
     if kernel == "native":
         _fast.warmup_native()
     # Zero-copy tile handoff: for sinks whose payload IS the triples
     # (payload_kind == "triples") on a backend advertising
     # ``zero_copy_tiles``, tiles move through a coordinator-owned
-    # shared-memory pool instead of being pickled back.  The pool's
-    # lifecycle is tied to this call (see the ``finally`` below).
+    # shared-memory pool instead of being pickled back.  Only models
+    # with a shared right factor use the pool; other models' tiles
+    # travel by pickle.  The pool's lifecycle is tied to this call (see
+    # the ``finally`` below).
     pool = None
     c_ref = None
     if (
         getattr(sink, "payload_kind", "opaque") == "triples"
         and getattr(executor.backend, "zero_copy_tiles", False)
+        and model.shared_factor
     ):
         from repro.parallel.shm import (
             SharedTilePool,
@@ -372,17 +381,22 @@ def execute(
             )
         else:
             factory = sink.consumer_factory(t)
+        shared_c = None
+        if model.shared_factor and pool is None:
+            shared_c = plan.c_matrix
         return _RankWork(
             rank=t.rank,
-            b_local=t.assignment.b_local,
-            col_base=t.assignment.col_base,
-            c=None if pool is not None else plan.c_matrix,
+            b_local=None if t.assignment is None else t.assignment.b_local,
+            col_base=0 if t.assignment is None else t.assignment.col_base,
+            c=shared_c,
             loop_vertex=plan.loop_vertex,
             scramble=plan.scramble,
             max_tile_entries=plan.memory_budget_entries,
             consumer_factory=factory,
             kernel=kernel,
             c_ref=c_ref,
+            spec=t.spec,
+            model=model,
         )
 
     def commit(task: RankTask, outcome: TaskOutcome) -> None:

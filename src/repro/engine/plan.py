@@ -31,10 +31,13 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
+from repro.errors import GenerationError
+from repro.models import default_model
 from repro.runtime.checkpoint import design_fingerprint, payload_checksum
 
 if TYPE_CHECKING:  # annotation-only; see module note on circularity
     from repro.kron.chain import KroneckerChain
+    from repro.models import GeneratorModel
     from repro.parallel.machine import VirtualCluster
     from repro.parallel.partition import PartitionPlan, RankAssignment
     from repro.parallel.scramble import ScramblePermutation
@@ -47,24 +50,34 @@ DEFAULT_MEMORY_BUDGET_ENTRIES = 50_000_000
 
 @dataclass(frozen=True)
 class RankTask:
-    """One rank's unit of work: its B slice plus a size prediction.
+    """One rank's unit of work plus a size prediction.
 
-    ``estimated_entries`` is exact for the Kronecker product
-    (``nnz(Bp) · nnz(C)``, every pair yields one entry) — it is what the
-    scheduler packs against the memory budget and what decides whether
-    the kernel must tile.
+    For the deterministic Kronecker model ``assignment`` is the rank's
+    B slice and ``estimated_entries`` is exact (``nnz(Bp) · nnz(C)``,
+    every pair yields one entry).  Other generator models leave
+    ``assignment`` as ``None`` and attach their own picklable ``spec``
+    (e.g. :class:`repro.models.skg.SKGRankSpec`, an edge-index range).
+    Either way ``estimated_entries`` is what the scheduler packs against
+    the memory budget and what decides whether the kernel must tile.
     """
 
     rank: int
-    assignment: "RankAssignment"
+    assignment: Optional["RankAssignment"]
     estimated_entries: int
+    spec: object = None
 
 
 @dataclass(frozen=True)
 class GenerationPlan:
-    """Immutable description of one generation run (the engine's IR)."""
+    """Immutable description of one generation run (the engine's IR).
 
-    partition: "PartitionPlan"
+    ``model`` names the generator producing the tiles — the
+    deterministic Kronecker singleton by default, keeping every
+    historical plan byte-identical — and ``partition`` is that model's
+    B/C split (``None`` for models without a shared right factor).
+    """
+
+    partition: Optional["PartitionPlan"]
     tasks: Tuple[RankTask, ...]
     num_vertices: int
     memory_budget_entries: Optional[int]
@@ -76,8 +89,12 @@ class GenerationPlan:
     #: Generation kernel request: ``"auto"`` (native when available),
     #: ``"numpy"`` (the oracle), or ``"native"`` (strict — raises
     #: without numba).  ``execute`` resolves ``"auto"`` to a concrete
-    #: kernel once, coordinator-side, so every worker agrees.
+    #: kernel once, coordinator-side, so every worker agrees.  Kernel
+    #: resolution is model-owned: models without a native kernel refuse
+    #: strict ``"native"`` requests.
     kernel: str = "auto"
+    #: The generator model producing the tiles (see :mod:`repro.models`).
+    model: "GeneratorModel" = field(default_factory=default_model)
     # Pre-materialized C (adapters that already hold it avoid a second
     # materialization); excluded from equality/repr like any cache.
     _c: Optional["COOMatrix"] = field(default=None, repr=False, compare=False)
@@ -97,6 +114,11 @@ class GenerationPlan:
         """The shared right factor ``C``, materialized once per plan."""
         if self._c is not None:
             return self._c
+        if self.partition is None:
+            raise GenerationError(
+                f"plan has no shared right factor (model "
+                f"{self.model.name!r} carries no B/C partition)"
+            )
         return self.partition.c_chain.materialize()
 
     @cached_property
@@ -150,6 +172,12 @@ def plan_from_partition(
     c: Optional["COOMatrix"] = None,
 ) -> GenerationPlan:
     """Wrap an existing partition as a plan (the adapter entry point)."""
+    if c is not None and c.nnz != partition.c_chain.nnz:
+        raise GenerationError(
+            f"pre-materialized c has nnz {c.nnz} but the partition's C "
+            f"chain predicts {partition.c_chain.nnz}; a mismatched factor "
+            "would skew estimated_entries and scheduler packing"
+        )
     c_nnz = c.nnz if c is not None else partition.c_chain.nnz
     tasks = tuple(
         RankTask(
@@ -171,6 +199,41 @@ def plan_from_partition(
         expected_nnz=expected_nnz,
         kernel=kernel,
         _c=c,
+    )
+
+
+def plan_from_model(
+    model: "GeneratorModel",
+    n_ranks: int,
+    *,
+    memory_budget_entries: Optional[int] = DEFAULT_MEMORY_BUDGET_ENTRIES,
+    scramble_seed: Optional[int] = None,
+    allow_empty_ranks: bool = False,
+    kernel: str = "auto",
+) -> GenerationPlan:
+    """Plan a run of a self-describing generator model (SKG family).
+
+    The model cuts its own rank tasks (:meth:`GeneratorModel.rank_tasks`)
+    and supplies the run-identity fingerprint, so resume refuses a
+    manifest written by a different model, seed, scale, or scramble.
+    Deterministic-Kronecker plans keep their dedicated builders below —
+    their rank tasks come from the B/C partition and their fingerprints
+    stay byte-compatible with pre-model manifests.
+    """
+    return GenerationPlan(
+        partition=None,
+        tasks=model.rank_tasks(n_ranks, allow_empty_ranks=allow_empty_ranks),
+        num_vertices=model.num_vertices,
+        memory_budget_entries=memory_budget_entries,
+        fingerprint=model.fingerprint(
+            n_ranks=n_ranks, scramble_seed=scramble_seed
+        ),
+        loop_vertex=None,
+        scramble_seed=scramble_seed,
+        expected_edges=model.num_edges,
+        expected_nnz=model.num_edges,
+        kernel=kernel,
+        model=model,
     )
 
 

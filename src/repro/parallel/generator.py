@@ -302,7 +302,7 @@ def generate_design_parallel(
     cfg = resolve_run_config(
         "generate_design_parallel",
         config,
-        unsupported=("transport",),
+        unsupported=("transport", "model"),
         backend=_UNSET if backend is None else backend,
         scheduler=_UNSET if scheduler is None else scheduler,
         memory_budget_entries=(

@@ -151,7 +151,7 @@ def run_scaling_study(
     cfg = resolve_run_config(
         "run_scaling_study",
         config,
-        unsupported=("transport", "checkpoint_dir", "resume", "scramble_seed"),
+        unsupported=("transport", "checkpoint_dir", "resume", "scramble_seed", "model"),
         memory_budget_entries=(
             _UNSET if memory_budget_entries is None else memory_budget_entries
         ),

@@ -101,6 +101,7 @@ def simulate_rate_curve(
             "checkpoint_dir",
             "resume",
             "scramble_seed",
+            "model",
         ),
         memory_budget_entries=(
             _UNSET if max_block_entries is None else max_block_entries

@@ -47,7 +47,7 @@ from repro.design.distribution import DegreeDistribution
 from repro.design.star_design import PowerLawDesign
 from repro.engine.config import _UNSET, RunConfig, resolve_run_config
 from repro.engine.execute import execute as engine_execute
-from repro.engine.plan import plan_from_design
+from repro.engine.plan import plan_from_design, plan_from_model
 from repro.engine.scheduler import StaticScheduler
 from repro.engine.sinks import (  # noqa: F401  (re-exported, historical home)
     DegreeSink,
@@ -56,6 +56,7 @@ from repro.engine.sinks import (  # noqa: F401  (re-exported, historical home)
     StreamSummary,
 )
 from repro.errors import IOFormatError, ManifestError
+from repro.models import resolve_model
 from repro.parallel.backends import BackendLike
 from repro.runtime.checkpoint import (
     STATUS_COMPLETE,
@@ -159,6 +160,14 @@ def generate_to_disk(
     ``memory_entries``
         Deprecated alias of ``memory_budget_entries`` (warns).
 
+    ``config.model`` selects the generator model: the default (``None``
+    or ``"kron"``) streams the design exactly as always; ``"skg"`` /
+    ``"noisy-skg"`` (or a :class:`~repro.models.GeneratorModel`
+    instance) stream the stochastic Kronecker family matched to the
+    design's scale through the identical shard/manifest/resume pipeline
+    — the manifest fingerprint then carries the model id and seed, so a
+    resume against a different model or seed is refused.
+
     Metrics: ``checkpoint.ranks_skipped`` (reused from checkpoint),
     ``checkpoint.ranks_regenerated``, ``checkpoint.shards_quarantined``,
     ``checkpoint.manifest_writes``, the per-rank ``stream.rank_s`` /
@@ -186,13 +195,23 @@ def generate_to_disk(
         if cfg.memory_budget_entries is not None
         else 50_000_000
     )
-    plan = plan_from_design(
-        design,
-        n_ranks,
-        memory_budget_entries=budget,
-        scramble_seed=cfg.scramble_seed,
-        kernel=cfg.kernel,
-    )
+    model = resolve_model(cfg.model, design=design)
+    if model is not None:
+        plan = plan_from_model(
+            model,
+            n_ranks,
+            memory_budget_entries=budget,
+            scramble_seed=cfg.scramble_seed,
+            kernel=cfg.kernel,
+        )
+    else:
+        plan = plan_from_design(
+            design,
+            n_ranks,
+            memory_budget_entries=budget,
+            scramble_seed=cfg.scramble_seed,
+            kernel=cfg.kernel,
+        )
     sink = ShardSink(
         directory, prefix=prefix, resume=cfg.resume, crash_hook=crash_hook
     )
@@ -285,28 +304,40 @@ def verify_shards(
     shards are intact (and ``check_degrees``), the streamed degree
     distribution is compared to the design's exact prediction — the
     Fig.-4 measured==predicted check run purely from disk.
+
+    Shards written by a stochastic generator model (the fingerprint
+    carries a ``model`` field) have no exact closed-form degree
+    prediction; for those, checksums and the total edge count recorded
+    in the fingerprint are verified and the degree comparison is
+    skipped.
     """
     directory = Path(directory)
     manifest = RunManifest.load(directory)
     fp = manifest.fingerprint
-    if design is None:
-        try:
-            design = PowerLawDesign(fp["star_sizes"], fp["self_loop"])
-        except KeyError as exc:
-            raise ManifestError(
-                f"manifest fingerprint missing field {exc}; cannot "
-                "reconstruct the design (pass design= explicitly)"
-            ) from exc
-    expected_fp = design_fingerprint(
-        design,
-        n_ranks=manifest.n_ranks,
-        scramble_seed=fp.get("scramble_seed"),
-    )
     failures: List[str] = []
-    if not manifest.matches_fingerprint(expected_fp):
-        failures.append(
-            "manifest fingerprint does not match the supplied design"
+    model_run = design is None and "model" in fp
+    if model_run:
+        expected_nnz = int(fp.get("num_edges", 0))
+        check_degrees = False
+    else:
+        if design is None:
+            try:
+                design = PowerLawDesign(fp["star_sizes"], fp["self_loop"])
+            except KeyError as exc:
+                raise ManifestError(
+                    f"manifest fingerprint missing field {exc}; cannot "
+                    "reconstruct the design (pass design= explicitly)"
+                ) from exc
+        expected_fp = design_fingerprint(
+            design,
+            n_ranks=manifest.n_ranks,
+            scramble_seed=fp.get("scramble_seed"),
         )
+        if not manifest.matches_fingerprint(expected_fp):
+            failures.append(
+                "manifest fingerprint does not match the supplied design"
+            )
+        expected_nnz = design.num_edges
     ok_ranks: List[int] = []
     bad_ranks: List[int] = []
     for rank in range(manifest.n_ranks):
@@ -334,7 +365,7 @@ def verify_shards(
         n_ranks=manifest.n_ranks,
         status=manifest.status,
         total_nnz=total_nnz,
-        expected_nnz=design.num_edges,
+        expected_nnz=expected_nnz,
         ok_ranks=tuple(ok_ranks),
         bad_ranks=tuple(bad_ranks),
         failures=tuple(failures),
@@ -375,9 +406,15 @@ def streamed_degree_distribution(
         if cfg.memory_budget_entries is not None
         else 50_000_000
     )
-    plan = plan_from_design(
-        design, n_ranks, memory_budget_entries=budget, kernel=cfg.kernel
-    )
+    model = resolve_model(cfg.model, design=design)
+    if model is not None:
+        plan = plan_from_model(
+            model, n_ranks, memory_budget_entries=budget, kernel=cfg.kernel
+        )
+    else:
+        plan = plan_from_design(
+            design, n_ranks, memory_budget_entries=budget, kernel=cfg.kernel
+        )
     result = engine_execute(
         plan,
         DegreeSink(),

@@ -22,6 +22,13 @@ from repro.validate.structure import (
     PartitionAudit,
 )
 from repro.validate.report import ValidationReport, validate_design
+from repro.validate.triangle_stream import (
+    TriangleComparison,
+    TriangleStreamResult,
+    compare_triangle_participation,
+    iter_shard_edges,
+    triangle_stream,
+)
 
 __all__ = [
     "check_degree_distribution",
@@ -37,4 +44,9 @@ __all__ = [
     "PartitionAudit",
     "ValidationReport",
     "validate_design",
+    "TriangleStreamResult",
+    "TriangleComparison",
+    "triangle_stream",
+    "compare_triangle_participation",
+    "iter_shard_edges",
 ]

@@ -2,11 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.sparse import from_dense
 from repro.sparse.coo import COOMatrix
+
+try:  # hypothesis is a test-only dependency; the suite mostly works without
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    # The "ci" profile makes the churn/codec property sweeps reproducible
+    # on shared runners: no wall-clock deadline (CI machines stall), a
+    # derandomized example stream (failures reproduce across reruns), and
+    # the failing-example blob printed so a red run can be replayed
+    # locally with @reproduce_failure.  Select with HYPOTHESIS_PROFILE=ci.
+    _hyp_settings.register_profile(
+        "ci",
+        deadline=None,
+        derandomize=True,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    pass
 
 
 @pytest.fixture

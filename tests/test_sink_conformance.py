@@ -406,3 +406,98 @@ class TestByteIdentityUnderChurn:
         assert summary.skipped_ranks == 2
         assert shard_bytes(churned) == shard_bytes(clean)
         assert manifest_identity_fields(churned) == manifest_identity_fields(clean)
+
+
+class TestDegeneratePlans:
+    """Degenerate plan shapes across the model axis: zero ranks, all-
+    empty ranks, and a one-entry tile budget must flow through both
+    schedulers and every sink path without special-casing — empty shards
+    are still checksummed, manifests still complete, bytes still match.
+    """
+
+    SKG_CASES = {
+        "empty": dict(levels=4, num_edges=0, seed=0),
+        "sparse": dict(levels=5, num_edges=11, seed=3),
+    }
+
+    def _skg(self, case):
+        from repro.models import StochasticKroneckerModel
+
+        return StochasticKroneckerModel(**self.SKG_CASES[case])
+
+    def test_zero_rank_model_plan_refused(self):
+        from repro.engine import plan_from_model
+
+        with pytest.raises(GenerationError, match="at least one rank"):
+            plan_from_model(self._skg("sparse"), 0)
+
+    @pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+    def test_all_empty_rank_model_plan_writes_complete_shards(
+        self, tmp_path, scheduler_name
+    ):
+        from repro.engine import plan_from_model
+        from repro.parallel import verify_shards
+
+        plan = plan_from_model(self._skg("empty"), 3, allow_empty_ranks=True)
+        out = tmp_path / scheduler_name
+        result = execute(
+            plan,
+            ShardSink(out),
+            config=RunConfig(scheduler=SCHEDULERS[scheduler_name]()),
+        )
+        assert result.sink_result.total_edges == 0
+        assert sorted(p.name for p in Path(out).iterdir()) == [
+            "edges.0.tsv",
+            "edges.1.tsv",
+            "edges.2.tsv",
+            "manifest.json",
+        ]
+        assert verify_shards(out, check_degrees=False).passed
+
+    @pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+    def test_kron_empty_ranks_byte_identical_across_schedulers(
+        self, tmp_path, scheduler_name
+    ):
+        # More ranks than B rows: ranks 0, 3, 6 get nothing to do.
+        design = PowerLawDesign([3, 4], "none")
+        plan = plan_from_design(design, 9, allow_empty_ranks=True)
+        base_dir = tmp_path / "base"
+        execute(plan, ShardSink(base_dir))
+        out = tmp_path / scheduler_name
+        result = execute(
+            plan,
+            ShardSink(out),
+            config=RunConfig(scheduler=SCHEDULERS[scheduler_name]()),
+        )
+        assert result.sink_result.total_edges == design.num_edges
+        assert shard_bytes(out) == shard_bytes(base_dir)
+        assert manifest_identity_fields(out) == manifest_identity_fields(base_dir)
+
+    @pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+    @pytest.mark.parametrize("axis", ["kron", "skg"])
+    def test_single_entry_tile_budget_byte_identical(
+        self, tmp_path, scheduler_name, axis
+    ):
+        from repro.engine import plan_from_model
+
+        if axis == "kron":
+            # 63 entries is this design's partition floor (nnz(B) after
+            # the only feasible split); every rank still tiles, since
+            # the largest whole-rank block is 231 entries.
+            whole = make_plan(3)
+            tiny = plan_from_design(
+                DESIGN, 3, memory_budget_entries=63, scramble_seed=5
+            )
+        else:
+            model = self._skg("sparse")
+            whole = plan_from_model(model, 3)
+            tiny = plan_from_model(model, 3, memory_budget_entries=1)
+        base_dir = tmp_path / "base"
+        execute(whole, ShardSink(base_dir))
+        out = tmp_path / f"{axis}-{scheduler_name}"
+        execute(
+            tiny,
+            ShardSink(out),
+            config=RunConfig(scheduler=SCHEDULERS[scheduler_name]()),
+        )
+        assert shard_bytes(out) == shard_bytes(base_dir)

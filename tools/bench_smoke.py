@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark smoke target: ``python tools/bench_smoke.py``.
 
-Eight cheap CI guards:
+Nine cheap CI guards:
 
 1. the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot test
    only), asserting a machine-readable metrics JSON was produced — the
@@ -43,7 +43,14 @@ Eight cheap CI guards:
    static pool, within 2.5x the static wall-clock, with the churn
    metrics (``engine.revocations``, ``engine.reassigned_tasks``,
    ``engine.lease_expiries``, ``engine.workers_active``) recorded —
-   elasticity stays free of correctness cost and cheap in time.
+   elasticity stays free of correctness cost and cheap in time;
+9. the model-determinism guard: a stochastic-Kronecker (``skg``) run
+   executed twice with the same seed must produce byte-identical shards
+   and manifest, a different seed must change the bytes, and the
+   per-model edges/sec (``kron``/``skg``/``noisy-skg`` at a common toy
+   scale) is appended to the recorded ``BENCH_models.json`` trajectory —
+   counter-based seeding stays reproducible and the model layer's
+   throughput stays observable.
 
 With ``--artifact-dir`` the tiled, straggler, and socket runs' metrics
 snapshots plus the updated ``BENCH_*.json`` trajectories are written
@@ -717,6 +724,115 @@ def smoke_elastic_churn(root: Path, artifact_dir: Path | None) -> int:
     return 0
 
 
+def smoke_model_determinism(root: Path, artifact_dir: Path | None) -> int:
+    """Guard 9: SKG seed determinism and the per-model BENCH trajectory."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.design import PowerLawDesign
+    from repro.engine import ShardSink, execute, plan_from_design, plan_from_model
+    from repro.models import NoisySKGModel, StochasticKroneckerModel
+
+    design = PowerLawDesign([3, 4, 5, 9], "center")
+    n_ranks = 4
+
+    def shard_tree(directory: Path) -> dict[str, bytes]:
+        return {
+            f.name: f.read_bytes()
+            for f in sorted(directory.iterdir())
+            if f.suffix in (".tsv", ".json")
+        }
+
+    def run(plan, directory: Path) -> float:
+        start = time.perf_counter()
+        result = execute(plan, ShardSink(directory))
+        elapsed = time.perf_counter() - start
+        return result.sink_result.total_edges / max(elapsed, 1e-9)
+
+    models = {
+        "kron": lambda: plan_from_design(design, n_ranks),
+        "skg": lambda: plan_from_model(
+            StochasticKroneckerModel(
+                levels=11, num_edges=design.num_edges, seed=0
+            ),
+            n_ranks,
+        ),
+        "noisy-skg": lambda: plan_from_model(
+            NoisySKGModel(levels=11, num_edges=design.num_edges, seed=0),
+            n_ranks,
+        ),
+    }
+    rates = {}
+    with tempfile.TemporaryDirectory(prefix="repro-models-") as tmp:
+        tmp_path = Path(tmp)
+        for name, build in models.items():
+            rates[name] = run(build(), tmp_path / name)
+        # Same seed, fresh run: the bytes must not move.
+        run(models["skg"](), tmp_path / "skg-again")
+        if shard_tree(tmp_path / "skg") != shard_tree(tmp_path / "skg-again"):
+            print(
+                "bench-smoke: two same-seed skg runs disagree — "
+                "counter-based determinism is broken",
+                file=sys.stderr,
+            )
+            return 1
+        # A different seed must actually change the output.
+        reseeded = plan_from_model(
+            StochasticKroneckerModel(
+                levels=11, num_edges=design.num_edges, seed=1
+            ),
+            n_ranks,
+        )
+        run(reseeded, tmp_path / "skg-seed1")
+        same = shard_tree(tmp_path / "skg")
+        other = shard_tree(tmp_path / "skg-seed1")
+        if {k: v for k, v in same.items() if k != "manifest.json"} == {
+            k: v for k, v in other.items() if k != "manifest.json"
+        }:
+            print(
+                "bench-smoke: seed 0 and seed 1 skg runs produced the "
+                "same shards — the seed is not reaching the generator",
+                file=sys.stderr,
+            )
+            return 1
+    current = {
+        name: {"edges_per_second": rate} for name, rate in rates.items()
+    }
+    bench_path = root / "BENCH_models.json"
+    trajectory = _load_trajectory(bench_path) + [current]
+    document = {
+        "schema": 1,
+        "command": "bench-smoke model-determinism",
+        "design": list(design.star_sizes),
+        "n_ranks": n_ranks,
+        "trajectory": trajectory,
+    }
+    if len(trajectory) > 1:
+        recorded = trajectory[-2]["skg"]["edges_per_second"]
+        print(
+            f"bench-smoke: skg at {rates['skg']:,.0f} edges/s "
+            f"(recorded {recorded:,.0f})",
+            file=sys.stderr,
+        )
+    if not bench_path.exists():
+        bench_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"bench-smoke: recorded {bench_path.name}", file=sys.stderr)
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        out = artifact_dir / bench_path.name
+        out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"bench-smoke: wrote trajectory to {out}", file=sys.stderr)
+    summary = ", ".join(
+        f"{name} {rate:,.0f} edges/s" for name, rate in rates.items()
+    )
+    print(
+        f"bench-smoke: OK — same-seed skg runs byte-identical, reseed "
+        f"changes bytes; rates: {summary}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -797,6 +913,7 @@ def main(argv: list[str] | None = None) -> int:
             root, args.artifact_dir, args.require_native
         ),
         lambda: smoke_elastic_churn(root, args.artifact_dir),
+        lambda: smoke_model_determinism(root, args.artifact_dir),
     ):
         code = guard()
         if code != 0:
