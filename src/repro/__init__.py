@@ -33,12 +33,16 @@ Subpackages
 - :mod:`repro.runtime` — fault-tolerant, observable rank execution
   (metrics, tracing, retrying executor, progress events),
 - :mod:`repro.validate` — measured-vs-predicted validation,
+- :mod:`repro.catalog` — the fingerprint-keyed design catalog: one
+  ``DesignProperties`` schema filled analytically (no materialization)
+  or empirically (from shard directories), content-addressed caching,
 - :mod:`repro.baselines` — R-MAT / Chung-Lu comparison generators,
 - :mod:`repro.analysis` — power-law fits and figure series,
 - :mod:`repro.io` — TSV / NPZ / JSON artifacts.
 """
 
 from repro._version import __version__
+from repro.catalog import DesignCatalog, DesignProperties
 from repro.design import DegreeDistribution, PowerLawDesign, design_for_scale
 from repro.engine import RunConfig
 from repro.errors import ReproError
@@ -86,4 +90,6 @@ __all__ = [
     "RankEvents",
     "FailureInjector",
     "validate_design",
+    "DesignCatalog",
+    "DesignProperties",
 ]

@@ -19,8 +19,18 @@ from repro.baselines.iterative_design import (
     IterativeDesignResult,
     iterative_rmat_design,
 )
+from repro.baselines.participation import (
+    BASELINE_CHOICES,
+    baseline_graph,
+    baseline_triangle_participation,
+    compare_baseline_triangles,
+)
 
 __all__ = [
+    "BASELINE_CHOICES",
+    "baseline_graph",
+    "baseline_triangle_participation",
+    "compare_baseline_triangles",
     "barabasi_albert_graph",
     "RMATParameters",
     "rmat_edges",

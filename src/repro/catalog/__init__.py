@@ -1,0 +1,129 @@
+"""The fingerprint-keyed design catalog (the paper's Section VI as a
+service layer).
+
+One schema (:class:`~repro.catalog.record.DesignProperties`), two
+producers, one address space:
+
+* :func:`~repro.catalog.analytic.analytic_properties` computes the
+  record from a design/model/plan **without materialization** — closed
+  forms for Kronecker designs, exact bounded-memory streaming of the
+  definition for stochastic models and chains;
+* :func:`~repro.catalog.empirical.empirical_properties` measures the
+  same record from a completed shard directory;
+* :func:`~repro.catalog.keys.catalog_key` strips run-only fingerprint
+  fields (ranks, scramble, split) so both land on the same digest, and
+  :class:`~repro.catalog.cache.CatalogCache` stores them
+  content-addressed, checksummed, and atomically.
+
+:class:`DesignCatalog` is the facade the CLI and (future) design
+server use: a warm lookup is a single cached read.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.catalog.analytic import PlanEdgeStream, analytic_properties
+from repro.catalog.cache import CACHE_VERSION, CatalogCache
+from repro.catalog.diff import CatalogDiff, FieldDiff, diff_properties
+from repro.catalog.empirical import empirical_properties
+from repro.catalog.keys import catalog_key, key_digest, model_name_for_key
+from repro.catalog.record import (
+    CATALOG_SCHEMA_VERSION,
+    DesignProperties,
+    SpectrumMoments,
+    TriangleSummary,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CATALOG_SCHEMA_VERSION",
+    "CatalogCache",
+    "CatalogDiff",
+    "DesignCatalog",
+    "DesignProperties",
+    "FieldDiff",
+    "PlanEdgeStream",
+    "SpectrumMoments",
+    "TriangleSummary",
+    "analytic_properties",
+    "catalog_key",
+    "diff_properties",
+    "empirical_properties",
+    "key_digest",
+    "model_name_for_key",
+]
+
+
+class DesignCatalog:
+    """Cached property lookups keyed by graph identity.
+
+    With ``cache_dir=None`` every call computes fresh (still correct,
+    never cached).  With a directory, lookups check the
+    :class:`CatalogCache` first and persist what they compute, so the
+    second identical query is one file read — the latency contract the
+    async design server builds on.
+    """
+
+    def __init__(self, cache_dir: Optional[str | Path] = None) -> None:
+        self.cache = None if cache_dir is None else CatalogCache(cache_dir)
+
+    # -- lookups --------------------------------------------------------------
+    def analytic(
+        self,
+        subject,
+        *,
+        refresh: bool = False,
+        include_participation: bool = False,
+        memory_budget_entries: Optional[int] = None,
+    ) -> DesignProperties:
+        """Analytic record for ``subject`` (design/model/plan/fingerprint).
+
+        ``refresh=True`` bypasses the cache read (the write still
+        happens).  A cached record that lacks the participation
+        histograms does not satisfy ``include_participation=True`` —
+        it is recomputed and upgraded in place.
+        """
+        digest = None
+        if self.cache is not None:
+            digest = key_digest(subject)
+            if not refresh:
+                hit = self.cache.load(digest, "analytic")
+                if hit is not None and (
+                    not include_participation
+                    or hit.triangles.has_participation
+                ):
+                    return hit
+        record = analytic_properties(
+            subject,
+            include_participation=include_participation,
+            memory_budget_entries=memory_budget_entries,
+        )
+        if self.cache is not None:
+            self.cache.store(record)
+        return record
+
+    def empirical(
+        self,
+        directory,
+        *,
+        refresh: bool = False,
+        memory_budget_entries: Optional[int] = None,
+    ) -> DesignProperties:
+        """Empirical record for a completed shard ``directory``."""
+        digest = None
+        if self.cache is not None:
+            from repro.runtime.checkpoint import RunManifest
+
+            digest = key_digest(RunManifest.load(directory).fingerprint)
+            if not refresh:
+                hit = self.cache.load(digest, "empirical")
+                if hit is not None:
+                    return hit
+        record = empirical_properties(
+            directory, memory_budget_entries=memory_budget_entries
+        )
+        if self.cache is not None:
+            self.cache.store(record)
+        return record

@@ -1,0 +1,98 @@
+"""The content-addressed catalog cache.
+
+One JSON file per entry, named by the partition-invariant key digest
+and the record source (``<hex>.analytic.json`` /
+``<hex>.empirical.json``), written with the same durability discipline
+as shard manifests: :func:`repro.runtime.checkpoint.atomic_write_text`
+(temp file → fsync → rename), an embedded ``cache_version``, and a
+``checksum`` over the record's canonical JSON.
+
+The trust model is asymmetric by design:
+
+* **writes** are atomic and byte-deterministic — writing the same
+  record twice produces the identical file, which is what makes the
+  "second lookup is served byte-identically" guarantee testable at
+  the file level;
+* **reads** trust nothing: a missing file, unparsable JSON, a version
+  from older code, a checksum mismatch (bit rot, truncation, a
+  hand-edited file), a digest that disagrees with the filename, or a
+  record that fails schema validation all return ``None`` — the
+  caller recomputes and overwrites.  Corruption can cost time, never
+  correctness, and never an exception.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.catalog.record import DesignProperties
+from repro.errors import CatalogError, ReproError
+from repro.runtime.checkpoint import atomic_write_text, payload_checksum
+
+#: Version of the cache envelope (not the record schema); bumped when
+#: the entry file layout changes so old files are recomputed.
+CACHE_VERSION = 1
+
+
+class CatalogCache:
+    """A directory of content-addressed :class:`DesignProperties` files."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def entry_path(self, key_digest: str, source: str) -> Path:
+        # "sha256:<hex>" → "<hex>" so names stay filesystem-neutral.
+        hexpart = key_digest.split(":", 1)[-1]
+        if not hexpart or not all(c in "0123456789abcdef" for c in hexpart):
+            raise CatalogError(f"malformed key digest {key_digest!r}")
+        return self.directory / f"{hexpart}.{source}.json"
+
+    # -- writes ---------------------------------------------------------------
+    def store(self, record: DesignProperties) -> Path:
+        """Atomically persist ``record``; returns the entry path.
+
+        The file bytes are a pure function of the record (sorted keys,
+        fixed indentation), so repeated stores are byte-identical.
+        """
+        canonical = record.canonical_json()
+        doc = {
+            "cache_version": CACHE_VERSION,
+            "key_digest": record.key_digest,
+            "source": record.source,
+            "checksum": payload_checksum(canonical.encode("ascii")),
+            "properties": record.to_doc(),
+        }
+        path = self.entry_path(record.key_digest, record.source)
+        atomic_write_text(
+            path, json.dumps(doc, sort_keys=True, indent=2) + "\n"
+        )
+        return path
+
+    # -- reads ----------------------------------------------------------------
+    def load(
+        self, key_digest: str, source: str
+    ) -> Optional[DesignProperties]:
+        """Return the cached record, or ``None`` for *any* defect."""
+        try:
+            path = self.entry_path(key_digest, source)
+            text = path.read_text(encoding="ascii")
+            doc = json.loads(text)
+            if doc.get("cache_version") != CACHE_VERSION:
+                return None
+            if doc.get("key_digest") != key_digest:
+                return None
+            if doc.get("source") != source:
+                return None
+            record = DesignProperties.from_doc(doc["properties"])
+            if record.key_digest != key_digest or record.source != source:
+                return None
+            if doc.get("checksum") != payload_checksum(
+                record.canonical_json().encode("ascii")
+            ):
+                return None
+            return record
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            return None

@@ -1,0 +1,129 @@
+"""Structured diffs of two catalog records.
+
+Validation used to be a bag of ad-hoc comparisons (degree check here,
+triangle ratio there); with one :class:`DesignProperties` schema on
+both sides it becomes a field-by-field diff.  Required fields —
+vertices, edges, the full degree distribution, triangle count,
+distinct-edge count, spectral moments — are always compared exactly
+(the paper's claim *is* exact equality).  Participation histograms
+are compared only when both records carry them, so a cheap
+closed-form analytic record still diffs cleanly against a streamed
+empirical one.
+
+This module imports only :mod:`repro.catalog.record`, so
+``repro.validate`` can re-export it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.catalog.record import DesignProperties
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One compared field: its name and both values."""
+
+    field: str
+    predicted: object
+    measured: object
+
+    @property
+    def matches(self) -> bool:
+        return self.predicted == self.measured
+
+    def to_text(self) -> str:
+        mark = "==" if self.matches else "!="
+        return f"{self.field}: {self.predicted!r} {mark} {self.measured!r}"
+
+
+@dataclass(frozen=True)
+class CatalogDiff:
+    """The full comparison of two :class:`DesignProperties` records."""
+
+    predicted_source: str
+    measured_source: str
+    predicted_digest: str
+    measured_digest: str
+    fields: Tuple[FieldDiff, ...]
+
+    @property
+    def same_key(self) -> bool:
+        return self.predicted_digest == self.measured_digest
+
+    @property
+    def mismatches(self) -> Tuple[FieldDiff, ...]:
+        return tuple(f for f in self.fields if not f.matches)
+
+    @property
+    def matches(self) -> bool:
+        """True iff the records describe the same graph: same catalog
+        key and every compared field equal."""
+        return self.same_key and not self.mismatches
+
+    def to_text(self) -> str:
+        lines = [
+            f"catalog diff: {self.predicted_source} vs "
+            f"{self.measured_source} "
+            + ("[same key]" if self.same_key else "[DIFFERENT KEYS]")
+        ]
+        bad = self.mismatches
+        if not bad and self.same_key:
+            lines.append(
+                f"  all {len(self.fields)} compared fields match exactly"
+            )
+        for f in bad:
+            lines.append("  MISMATCH " + f.to_text())
+        return "\n".join(lines)
+
+
+def diff_properties(
+    predicted: DesignProperties, measured: DesignProperties
+) -> CatalogDiff:
+    """Field-by-field comparison of two catalog records.
+
+    Typically ``predicted`` is analytic and ``measured`` empirical,
+    but any pair diffs (e.g. two empirical runs of the same seed).
+    """
+    fields = [
+        FieldDiff("num_vertices", predicted.num_vertices, measured.num_vertices),
+        FieldDiff("num_edges", predicted.num_edges, measured.num_edges),
+        FieldDiff(
+            "degree_distribution",
+            predicted.degree_distribution.to_dict(),
+            measured.degree_distribution.to_dict(),
+        ),
+        FieldDiff(
+            "triangles.num_triangles",
+            predicted.triangles.num_triangles,
+            measured.triangles.num_triangles,
+        ),
+        FieldDiff(
+            "triangles.distinct_edges",
+            predicted.triangles.distinct_edges,
+            measured.triangles.distinct_edges,
+        ),
+        FieldDiff("moments.m0", predicted.moments.m0, measured.moments.m0),
+        FieldDiff("moments.m1", predicted.moments.m1, measured.moments.m1),
+        FieldDiff("moments.m2", predicted.moments.m2, measured.moments.m2),
+        FieldDiff("moments.m3", predicted.moments.m3, measured.moments.m3),
+    ]
+    for name in (
+        "edges_in_triangles",
+        "vertices_in_triangles",
+        "vertex_participation",
+        "edge_participation",
+    ):
+        a = getattr(predicted.triangles, name)
+        b = getattr(measured.triangles, name)
+        if a is not None and b is not None:
+            fields.append(FieldDiff(f"triangles.{name}", a, b))
+    return CatalogDiff(
+        predicted_source=predicted.source,
+        measured_source=measured.source,
+        predicted_digest=predicted.key_digest,
+        measured_digest=measured.key_digest,
+        fields=tuple(fields),
+    )

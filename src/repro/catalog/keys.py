@@ -1,0 +1,126 @@
+"""Partition-invariant catalog keys.
+
+Run fingerprints (``design_fingerprint``, ``GeneratorModel.fingerprint``,
+``chain_fingerprint``) identify a *run*: they include ``n_ranks``,
+``scramble_seed``, and ``split_index`` because resume must refuse a
+manifest from a different partition.  A catalog entry describes the
+*graph*, and every property the catalog records — degree histogram,
+triangle counts, spectral moments — is invariant under both the rank
+partition and the affine vertex scramble.  So the catalog key strips
+those fields, and an analytic record computed from a design and an
+empirical record measured from any of its shard runs land on the same
+digest regardless of how many ranks generated it or how its labels
+were scrambled.
+
+``catalog_key`` accepts a design, a generator model, a
+:class:`~repro.engine.plan.GenerationPlan`, or a raw fingerprint
+mapping (e.g. ``RunManifest.fingerprint``), and returns a canonical
+key document whose ``digest`` is the cache address.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping
+
+from repro.errors import CatalogError
+from repro.runtime.checkpoint import payload_checksum
+
+#: Fingerprint fields that identify the run, not the graph.
+_RUN_ONLY_FIELDS = ("n_ranks", "scramble_seed", "split_index", "digest")
+
+
+def _finish(doc: Dict) -> Dict:
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    doc["digest"] = payload_checksum(canonical.encode("ascii"))
+    return doc
+
+
+def _key_from_fingerprint(fp: Mapping) -> Dict:
+    if "star_sizes" in fp:
+        return _finish(
+            {
+                "kind": "design",
+                "star_sizes": [int(m) for m in fp["star_sizes"]],
+                "self_loop": str(fp["self_loop"]),
+            }
+        )
+    if "model" in fp:
+        doc = {
+            k: v for k, v in fp.items() if k not in _RUN_ONLY_FIELDS
+        }
+        doc["kind"] = "model"
+        return _finish(doc)
+    if "factors" in fp:
+        return _finish(
+            {
+                "kind": "chain",
+                "factors": [
+                    [int(a), int(b), int(c)] for a, b, c in fp["factors"]
+                ],
+                "nnz": int(fp["nnz"]),
+            }
+        )
+    raise CatalogError(
+        f"unrecognized fingerprint shape (keys {sorted(fp)}); cannot "
+        "derive a catalog key"
+    )
+
+
+def catalog_key(subject) -> Dict:
+    """The canonical, partition-invariant key document for ``subject``.
+
+    ``subject`` may be a :class:`~repro.design.PowerLawDesign`, any
+    :class:`~repro.models.GeneratorModel`, a
+    :class:`~repro.engine.plan.GenerationPlan`, or a fingerprint
+    mapping (a plan's or a manifest's).  The returned dict carries a
+    ``kind`` tag, the graph-identity fields, and a ``digest`` — the
+    SHA-256 of the canonical JSON of the other fields, used as the
+    cache address.
+    """
+    if isinstance(subject, Mapping):
+        return _key_from_fingerprint(subject)
+    # GenerationPlan: key its fingerprint (which the manifest copies,
+    # so analytic-from-plan and empirical-from-shards agree).
+    if hasattr(subject, "tasks") and hasattr(subject, "fingerprint"):
+        if subject.fingerprint is None:
+            raise CatalogError(
+                "plan has no fingerprint; build it via plan_from_design/"
+                "plan_from_model/plan_from_chain to key a catalog entry"
+            )
+        return _key_from_fingerprint(subject.fingerprint)
+    # PowerLawDesign: star sizes + loop placement pin every property.
+    if hasattr(subject, "star_sizes") and hasattr(subject, "self_loop"):
+        return _finish(
+            {
+                "kind": "design",
+                "star_sizes": [int(m) for m in subject.star_sizes],
+                "self_loop": subject.self_loop.value,
+            }
+        )
+    # GeneratorModel: its fingerprint doc minus run-only fields — which
+    # the doc never contained, so it is usable as-is.
+    if hasattr(subject, "_fingerprint_doc"):
+        doc = dict(subject._fingerprint_doc())
+        doc["kind"] = "model"
+        return _finish(doc)
+    raise CatalogError(
+        f"cannot derive a catalog key from {type(subject).__name__!r}"
+    )
+
+
+def key_digest(subject) -> str:
+    """Shorthand for ``catalog_key(subject)["digest"]``."""
+    return catalog_key(subject)["digest"]
+
+
+def model_name_for_key(key: Mapping) -> str:
+    """The generator-family label a record built from ``key`` carries."""
+    kind = key.get("kind")
+    if kind == "design":
+        return "kron"
+    if kind == "model":
+        return str(key.get("model", "model"))
+    if kind == "chain":
+        return "chain"
+    raise CatalogError(f"unrecognized catalog key kind {kind!r}")

@@ -1,0 +1,285 @@
+"""The canonical :class:`DesignProperties` record.
+
+One schema for both sides of the paper's central claim: the
+**analytic** path (Section VI — exact properties of 10³⁰-edge graphs
+computed from the design, no materialization) and the **empirical**
+path (properties measured from generated shard directories) fill the
+*same* record, so validation is a field-by-field diff instead of a
+zoo of per-property comparisons.
+
+All counts are Python ints (extreme-scale designs exceed 2⁵³), and
+the JSON form keeps them as decimal strings so no parser ever rounds
+them.  ``canonical_json`` is byte-deterministic — the cache layer
+checksums it and the acceptance criterion "a second lookup is served
+byte-identically" rides on that determinism.
+
+Spectrum moments are of the *simplified undirected* graph the
+triangle machinery measures (loops dropped, duplicates merged):
+
+* ``m0 = Σ λ⁰ = num_vertices`` (trace of A⁰),
+* ``m1 = Σ λ  = 0`` by construction (no self-loops survive),
+* ``m2 = Σ λ² = 2 · distinct_edges`` (trace of A²),
+* ``m3 = Σ λ³ = 6 · num_triangles`` (trace of A³).
+
+These are exactly the spectral cross-checks the paper's future-work
+section computes at Fig.-4 scale, now first-class catalog fields that
+an empirical run can reconcile without an eigensolve.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.design.distribution import DegreeDistribution
+from repro.errors import CatalogError
+from repro.runtime.checkpoint import payload_checksum
+
+#: Version of the record schema; bumped on any field change so stale
+#: cache entries from older code are recomputed, never reinterpreted.
+CATALOG_SCHEMA_VERSION = 1
+
+#: Legal ``DesignProperties.source`` values.
+SOURCE_ANALYTIC = "analytic"
+SOURCE_EMPIRICAL = "empirical"
+_SOURCES = (SOURCE_ANALYTIC, SOURCE_EMPIRICAL)
+
+
+def _int_hist_to_json(hist: Optional[Mapping[int, int]]) -> Optional[Dict[str, str]]:
+    if hist is None:
+        return None
+    return {str(k): str(v) for k, v in sorted(hist.items())}
+
+
+def _int_hist_from_json(doc: Optional[Mapping]) -> Optional[Dict[int, int]]:
+    if doc is None:
+        return None
+    return {int(k): int(v) for k, v in doc.items()}
+
+
+@dataclass(frozen=True)
+class SpectrumMoments:
+    """Exact low-order spectral moments Σλᵏ of the simplified graph."""
+
+    m0: int  # Σ λ⁰ — vertices
+    m2: int  # Σ λ² — 2 × distinct undirected edges
+    m3: int  # Σ λ³ — 6 × triangles
+
+    #: Σ λ — always 0 here (self-loops are dropped before measuring);
+    #: kept as a named constant so the schema states the convention.
+    m1: int = 0
+
+    def to_doc(self) -> Dict[str, str]:
+        return {
+            "m0": str(self.m0),
+            "m1": str(self.m1),
+            "m2": str(self.m2),
+            "m3": str(self.m3),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping) -> "SpectrumMoments":
+        return cls(
+            m0=int(doc["m0"]),
+            m2=int(doc["m2"]),
+            m3=int(doc["m3"]),
+            m1=int(doc.get("m1", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class TriangleSummary:
+    """Triangle count plus (optional) participation histograms.
+
+    The count and ``distinct_edges`` are always present — closed-form
+    for designs, streamed for everything else.  The participation
+    histograms (``{triangles_touched: count}`` over vertices / distinct
+    undirected edges) are ``None`` when only the cheap closed forms
+    were computed; the streamed paths always fill them.
+    """
+
+    num_triangles: int
+    distinct_edges: int
+    edges_in_triangles: Optional[int] = None
+    vertices_in_triangles: Optional[int] = None
+    vertex_participation: Optional[Dict[int, int]] = None
+    edge_participation: Optional[Dict[int, int]] = None
+
+    @property
+    def has_participation(self) -> bool:
+        return self.edge_participation is not None
+
+    @property
+    def edge_participation_fraction(self) -> Optional[float]:
+        if self.edges_in_triangles is None:
+            return None
+        if not self.distinct_edges:
+            return 0.0
+        return self.edges_in_triangles / self.distinct_edges
+
+    @classmethod
+    def from_stream(cls, result) -> "TriangleSummary":
+        """Build from a ``TriangleStreamResult`` (duck-typed so this
+        module never imports :mod:`repro.validate`)."""
+        return cls(
+            num_triangles=int(result.num_triangles),
+            distinct_edges=int(result.num_edges),
+            edges_in_triangles=int(result.edges_in_triangles),
+            vertices_in_triangles=int(result.vertices_in_triangles),
+            vertex_participation=dict(result.vertex_participation),
+            edge_participation=dict(result.edge_participation),
+        )
+
+    def to_doc(self) -> Dict:
+        return {
+            "num_triangles": str(self.num_triangles),
+            "distinct_edges": str(self.distinct_edges),
+            "edges_in_triangles": (
+                None
+                if self.edges_in_triangles is None
+                else str(self.edges_in_triangles)
+            ),
+            "vertices_in_triangles": (
+                None
+                if self.vertices_in_triangles is None
+                else str(self.vertices_in_triangles)
+            ),
+            "vertex_participation": _int_hist_to_json(self.vertex_participation),
+            "edge_participation": _int_hist_to_json(self.edge_participation),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping) -> "TriangleSummary":
+        eit = doc.get("edges_in_triangles")
+        vit = doc.get("vertices_in_triangles")
+        return cls(
+            num_triangles=int(doc["num_triangles"]),
+            distinct_edges=int(doc["distinct_edges"]),
+            edges_in_triangles=None if eit is None else int(eit),
+            vertices_in_triangles=None if vit is None else int(vit),
+            vertex_participation=_int_hist_from_json(
+                doc.get("vertex_participation")
+            ),
+            edge_participation=_int_hist_from_json(
+                doc.get("edge_participation")
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class DesignProperties:
+    """The catalog record: every property the paper computes in advance.
+
+    ``source`` says which path produced it (``"analytic"`` or
+    ``"empirical"``); ``key_digest`` is the partition-invariant catalog
+    key digest (see :func:`repro.catalog.keys.catalog_key`) the cache
+    addresses it by; ``model`` names the generator family
+    (``"kron"``, ``"skg"``, ``"noisy-skg"``, ``"chain"``).
+
+    ``num_edges`` follows the design convention throughout the repo:
+    stored adjacency entries, i.e. both directions of every undirected
+    edge (and any surviving loops/duplicates in stochastic output).
+    ``triangles.distinct_edges`` is the simple-graph undirected count.
+    """
+
+    source: str
+    model: str
+    key_digest: str
+    num_vertices: int
+    num_edges: int
+    degree_distribution: DegreeDistribution
+    triangles: TriangleSummary
+    moments: SpectrumMoments
+    schema: int = field(default=CATALOG_SCHEMA_VERSION)
+
+    def __post_init__(self) -> None:
+        if self.source not in _SOURCES:
+            raise CatalogError(
+                f"source must be one of {_SOURCES}, got {self.source!r}"
+            )
+
+    # -- serialization --------------------------------------------------------
+    def to_doc(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "source": self.source,
+            "model": self.model,
+            "key_digest": self.key_digest,
+            "num_vertices": str(self.num_vertices),
+            "num_edges": str(self.num_edges),
+            "degree_distribution": self.degree_distribution.to_json_dict(),
+            "triangles": self.triangles.to_doc(),
+            "moments": self.moments.to_doc(),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping) -> "DesignProperties":
+        try:
+            schema = int(doc["schema"])
+            if schema != CATALOG_SCHEMA_VERSION:
+                raise CatalogError(
+                    f"record schema {schema} != {CATALOG_SCHEMA_VERSION}"
+                )
+            return cls(
+                source=str(doc["source"]),
+                model=str(doc["model"]),
+                key_digest=str(doc["key_digest"]),
+                num_vertices=int(doc["num_vertices"]),
+                num_edges=int(doc["num_edges"]),
+                degree_distribution=DegreeDistribution.from_json_dict(
+                    doc["degree_distribution"]
+                ),
+                triangles=TriangleSummary.from_doc(doc["triangles"]),
+                moments=SpectrumMoments.from_doc(doc["moments"]),
+                schema=schema,
+            )
+        except CatalogError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CatalogError(f"malformed catalog record: {exc}") from exc
+
+    def canonical_json(self) -> str:
+        """Byte-deterministic JSON (sorted keys, no whitespace)."""
+        return json.dumps(self.to_doc(), sort_keys=True, separators=(",", ":"))
+
+    def checksum(self) -> str:
+        return payload_checksum(self.canonical_json().encode("ascii"))
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_doc(), sort_keys=True, indent=indent)
+
+    # -- presentation ---------------------------------------------------------
+    def to_text(self, *, max_rows: int = 12) -> str:
+        tri = self.triangles
+        lines = [
+            f"catalog record [{self.source}]  model={self.model}  "
+            f"key={self.key_digest.split(':', 1)[-1][:12]}",
+            f"  vertices:  {self.num_vertices:,}",
+            f"  edges:     {self.num_edges:,} (stored entries)",
+            f"  triangles: {tri.num_triangles:,} "
+            f"({tri.distinct_edges:,} distinct undirected edges)",
+            f"  moments:   m0={self.moments.m0:,}  m1={self.moments.m1}  "
+            f"m2={self.moments.m2:,}  m3={self.moments.m3:,}",
+        ]
+        frac = tri.edge_participation_fraction
+        if frac is not None:
+            lines.append(
+                f"  participation: {tri.edges_in_triangles:,} edges "
+                f"({frac:.1%}) and {tri.vertices_in_triangles:,} vertices "
+                f"in >=1 triangle"
+            )
+        dist = self.degree_distribution
+        lines.append(
+            f"  degree distribution ({len(dist)} distinct degrees):"
+        )
+        lines.append(f"  {'degree':>14}  {'count':>16}")
+        shown = list(dist.items())
+        overflow = len(shown) - max_rows
+        if overflow > 0:
+            shown = shown[:max_rows]
+        for d, c in shown:
+            lines.append(f"  {d:>14,}  {c:>16,}")
+        if overflow > 0:
+            lines.append(f"  ... {overflow} more degrees")
+        return "\n".join(lines)

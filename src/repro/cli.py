@@ -153,9 +153,67 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_design = sub.add_parser("design", help="print exact properties of a design")
+    from repro.models import MODEL_CHOICES
+
+    p_design = sub.add_parser(
+        "design",
+        help="print exact properties of a design, or print/warm its "
+        "catalog entry (--json/--cache-dir/--model switch to the "
+        "unified repro.catalog record)",
+    )
     _add_design_args(p_design)
     p_design.add_argument("--max-rows", type=int, default=12, help="distribution rows to print")
+    p_design.add_argument(
+        "--catalog",
+        action="store_true",
+        help="print the unified catalog record (repro.catalog) instead "
+        "of the legacy design report",
+    )
+    p_design.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the catalog record as JSON (implies --catalog)",
+    )
+    p_design.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="content-addressed catalog cache: read the entry if warm, "
+        "compute and persist it otherwise (implies --catalog)",
+    )
+    p_design.add_argument(
+        "--refresh",
+        action="store_true",
+        help="with --cache-dir: recompute even if a cached entry exists",
+    )
+    p_design.add_argument(
+        "--participation",
+        action="store_true",
+        help="also stream the triangle participation histograms "
+        "(cross-checked against the closed forms; implies --catalog)",
+    )
+    p_design.add_argument(
+        "--model",
+        choices=list(MODEL_CHOICES),
+        default="kron",
+        help="catalog subject: the exact design (default 'kron') or a "
+        "stochastic model matched to its scale (implies --catalog)",
+    )
+    p_design.add_argument(
+        "--model-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="stochastic-model seed for --model skg/noisy-skg",
+    )
+    p_design.add_argument(
+        "--noise",
+        type=float,
+        default=0.1,
+        metavar="B",
+        help="noisy-skg per-level noise bound",
+    )
 
     p_search = sub.add_parser("search", help="find star sizes for a target edge count")
     p_search.add_argument("target_edges", type=int)
@@ -308,7 +366,37 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_design(args: argparse.Namespace) -> int:
     design = PowerLawDesign(args.star_sizes, args.self_loop)
-    print(design.report().to_text(max_rows=args.max_rows))
+    catalog_mode = (
+        args.catalog
+        or args.json
+        or args.cache_dir is not None
+        or args.refresh
+        or args.participation
+        or args.model != "kron"
+    )
+    if not catalog_mode:
+        print(design.report().to_text(max_rows=args.max_rows))
+        return 0
+    from repro.catalog import DesignCatalog
+
+    subject = _resolve_cli_model(args, design) or design
+    catalog = DesignCatalog(args.cache_dir)
+    record = catalog.analytic(
+        subject,
+        refresh=args.refresh,
+        include_participation=args.participation,
+    )
+    if args.json:
+        print(record.to_json())
+    else:
+        print(record.to_text(max_rows=args.max_rows))
+    if catalog.cache is not None:
+        # Stderr so --json stdout stays machine-parseable.
+        print(
+            "catalog entry: "
+            f"{catalog.cache.entry_path(record.key_digest, record.source)}",
+            file=sys.stderr,
+        )
     return 0
 
 

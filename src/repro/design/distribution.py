@@ -93,6 +93,21 @@ class DegreeDistribution:
     def to_dict(self) -> Dict[int, int]:
         return dict(self._counts)
 
+    def to_json_dict(self) -> Dict[str, str]:
+        """String-keyed, string-valued mapping that survives JSON.
+
+        Counts of extreme-scale designs exceed 2⁵³, so values are
+        serialized as decimal strings too — ``json.dumps`` would emit
+        big ints fine, but readers in other languages (and the catalog's
+        checksum discipline) want a representation no parser rounds.
+        """
+        return {str(d): str(c) for d, c in self._counts.items()}
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping[str, object]) -> "DegreeDistribution":
+        """Inverse of :meth:`to_json_dict` (accepts int values too)."""
+        return cls({int(d): int(c) for d, c in doc.items()})
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, DegreeDistribution):
             return self._counts == other._counts

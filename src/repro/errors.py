@@ -162,5 +162,13 @@ class ValidationError(ReproError):
     """A generated graph disagrees with its design prediction."""
 
 
+class CatalogError(ReproError):
+    """A design-catalog operation failed (unkeyable subject, incomplete
+    shard run, or an internally inconsistent property computation).
+
+    Deliberately *not* raised for corrupt or stale cache entries — those
+    are recomputed silently, never trusted and never fatal."""
+
+
 class IOFormatError(ReproError):
     """An on-disk artifact could not be parsed."""

@@ -29,8 +29,17 @@ from repro.validate.triangle_stream import (
     iter_shard_edges,
     triangle_stream,
 )
+from repro.validate.catalog_check import check_against_catalog
+# Validation *is* a catalog diff now; re-exported here so callers keep
+# one import site.  Last on purpose: repro.catalog's submodules import
+# repro.validate.triangle_stream, which the lines above already bound.
+from repro.catalog.diff import CatalogDiff, FieldDiff, diff_properties
 
 __all__ = [
+    "CatalogDiff",
+    "FieldDiff",
+    "check_against_catalog",
+    "diff_properties",
     "check_degree_distribution",
     "DegreeCheck",
     "count_triangles_matrix",

@@ -1,0 +1,61 @@
+"""Validation as a structured catalog diff.
+
+With the catalog layer in place, "validate a generated run" reduces
+to: compute (or fetch) the analytic record of what *should* have been
+generated, measure the empirical record of what *was*, and diff them
+field by field.  :func:`check_against_catalog` is that one call — the
+successor to driving ``check_degree_distribution`` and the triangle
+counters separately.
+
+Imports of :mod:`repro.catalog` are function-local: this module is
+re-exported from ``repro.validate``'s package init, which the catalog
+itself imports submodules from, and laziness keeps the order safe no
+matter which package loads first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def check_against_catalog(
+    shard_dir,
+    subject=None,
+    *,
+    cache_dir=None,
+    refresh: bool = False,
+    memory_budget_entries: Optional[int] = None,
+):
+    """Diff a shard directory against its analytic catalog record.
+
+    ``subject`` is what the run claims to be — a design, model, plan,
+    or fingerprint mapping.  When omitted, the directory's own manifest
+    fingerprint is used, i.e. "does this run match the properties its
+    fingerprint promises".  Pass the design/model explicitly to also
+    guard against a tampered or mislabeled manifest.
+
+    Returns a :class:`repro.catalog.CatalogDiff`; ``.matches`` is the
+    validation verdict.  Both sides go through a
+    :class:`repro.catalog.DesignCatalog` (cached when ``cache_dir`` is
+    given), and the analytic side always carries participation
+    histograms so every empirical field has a partner to diff against.
+    """
+    from repro.catalog import DesignCatalog, diff_properties
+
+    catalog = DesignCatalog(cache_dir)
+    if subject is None:
+        from repro.runtime.checkpoint import RunManifest
+
+        subject = RunManifest.load(shard_dir).fingerprint
+    predicted = catalog.analytic(
+        subject,
+        refresh=refresh,
+        include_participation=True,
+        memory_budget_entries=memory_budget_entries,
+    )
+    measured = catalog.empirical(
+        shard_dir,
+        refresh=refresh,
+        memory_budget_entries=memory_budget_entries,
+    )
+    return diff_properties(predicted, measured)

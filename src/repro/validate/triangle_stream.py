@@ -124,6 +124,7 @@ class _EdgeSource:
         self.passes = 0
         self._directory: Optional[Path] = None
         self._chunks: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None
+        self._restartable = None
         self._chunk_bytes = chunk_bytes
         if isinstance(edges, (str, Path)):
             self._directory = Path(edges)
@@ -132,6 +133,11 @@ class _EdgeSource:
                 (np.asarray(r, dtype=np.int64), np.asarray(c, dtype=np.int64))
                 for r, c in edges
             ]
+        elif hasattr(edges, "__iter__") and iter(edges) is not edges:
+            # A restartable chunk producer (e.g. the catalog's
+            # plan-backed edge stream): re-generate per pass instead of
+            # materializing, preserving the bounded-memory guarantee.
+            self._restartable = edges
         else:
             self._chunks = [
                 (np.asarray(r, dtype=np.int64), np.asarray(c, dtype=np.int64))
@@ -143,6 +149,14 @@ class _EdgeSource:
         if self._directory is not None:
             return iter_shard_edges(
                 self._directory, chunk_bytes=self._chunk_bytes
+            )
+        if self._restartable is not None:
+            return (
+                (
+                    np.asarray(r, dtype=np.int64),
+                    np.asarray(c, dtype=np.int64),
+                )
+                for r, c in self._restartable
             )
         return iter(self._chunks)
 

@@ -15,6 +15,93 @@ class TestDesignCommand:
         assert main(["design", "0"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_legacy_output_unchanged_without_catalog_flags(self, capsys):
+        from repro.design import PowerLawDesign
+
+        assert main(["design", "5", "3", "--self-loop", "center"]) == 0
+        out = capsys.readouterr().out
+        expected = PowerLawDesign([5, 3], "center").report().to_text(max_rows=12)
+        assert out == expected + "\n"
+
+    def test_catalog_table_output(self, capsys):
+        assert (
+            main(
+                [
+                    "design", "3", "4", "5",
+                    "--self-loop", "center",
+                    "--catalog", "--participation",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "catalog record [analytic]" in out
+        assert "287" in out  # triangles
+        assert "participation:" in out
+
+    def test_catalog_json_round_trips(self, capsys):
+        import json
+
+        from repro.catalog import DesignProperties
+
+        assert (
+            main(["design", "3", "4", "5", "--self-loop", "center", "--json"])
+            == 0
+        )
+        record = DesignProperties.from_doc(
+            json.loads(capsys.readouterr().out)
+        )
+        assert record.num_vertices == 120
+        assert record.num_edges == 692
+
+    def test_cache_dir_writes_entry(self, tmp_path, capsys):
+        cache = tmp_path / "catalog"
+        assert (
+            main(
+                [
+                    "design", "3", "4",
+                    "--self-loop", "center",
+                    "--json", "--cache-dir", str(cache),
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "catalog entry:" in err
+        assert len(list(cache.glob("*.analytic.json"))) == 1
+        # A second run is served from the same entry, byte-identically.
+        entry = next(cache.glob("*.analytic.json"))
+        before = entry.read_bytes()
+        assert (
+            main(
+                [
+                    "design", "3", "4",
+                    "--self-loop", "center",
+                    "--json", "--cache-dir", str(cache),
+                ]
+            )
+            == 0
+        )
+        assert entry.read_bytes() == before
+
+    def test_catalog_model_flag(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "design", "3", "4",
+                    "--self-loop", "center",
+                    "--model", "noisy-skg",
+                    "--model-seed", "3",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "noisy-skg"
+
 
 class TestSearchCommand:
     def test_search(self, capsys):

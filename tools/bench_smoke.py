@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark smoke target: ``python tools/bench_smoke.py``.
 
-Nine cheap CI guards:
+Ten cheap CI guards:
 
 1. the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot test
    only), asserting a machine-readable metrics JSON was produced — the
@@ -50,7 +50,15 @@ Nine cheap CI guards:
    per-model edges/sec (``kron``/``skg``/``noisy-skg`` at a common toy
    scale) is appended to the recorded ``BENCH_models.json`` trajectory —
    counter-based seeding stays reproducible and the model layer's
-   throughput stays observable.
+   throughput stays observable;
+10. the catalog-cache guard: a warm ``DesignCatalog`` lookup (one
+   cached read) must beat the cold analytic compute of the same
+   stochastic-model record by >=10x and return a byte-identical cache
+   entry; a corrupted (bit-flipped) entry must be silently recomputed
+   — never trusted, never a crash — restoring the original bytes; the
+   cold/warm latencies and speedup are appended to the recorded
+   ``BENCH_catalog.json`` trajectory — the design-server latency
+   contract (a warm lookup is a single cached read) stays measured.
 
 With ``--artifact-dir`` the tiled, straggler, and socket runs' metrics
 snapshots plus the updated ``BENCH_*.json`` trajectories are written
@@ -833,6 +841,131 @@ def smoke_model_determinism(root: Path, artifact_dir: Path | None) -> int:
     return 0
 
 
+def smoke_catalog_cache(root: Path, artifact_dir: Path | None) -> int:
+    """Guard 10: warm catalog lookups and corrupt-entry recompute."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.catalog import DesignCatalog, key_digest
+    from repro.catalog.record import SOURCE_ANALYTIC
+    from repro.models import NoisySKGModel
+
+    # Expensive enough that the cold streamed compute dominates a JSON
+    # read by orders of magnitude, cheap enough for CI.
+    model = NoisySKGModel(levels=12, num_edges=8192, seed=1)
+    with tempfile.TemporaryDirectory(prefix="repro-catalog-") as tmp:
+        catalog = DesignCatalog(Path(tmp))
+        digest = key_digest(model)
+        entry = catalog.cache.entry_path(digest, SOURCE_ANALYTIC)
+
+        start = time.perf_counter()
+        cold_record = catalog.analytic(model)
+        cold_s = time.perf_counter() - start
+        if not entry.exists():
+            print(
+                f"bench-smoke: cold analytic lookup wrote no cache entry "
+                f"at {entry}",
+                file=sys.stderr,
+            )
+            return 1
+        cold_bytes = entry.read_bytes()
+
+        warm_s = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            warm_record = catalog.analytic(model)
+            warm_s = min(warm_s, time.perf_counter() - start)
+        if warm_record != cold_record:
+            print(
+                "bench-smoke: warm catalog lookup returned a different "
+                "record than the cold compute",
+                file=sys.stderr,
+            )
+            return 1
+        if entry.read_bytes() != cold_bytes:
+            print(
+                "bench-smoke: warm catalog lookups rewrote the cache "
+                "entry — second lookup is not byte-identical",
+                file=sys.stderr,
+            )
+            return 1
+        speedup = cold_s / max(warm_s, 1e-9)
+        if speedup < 10.0:
+            print(
+                f"bench-smoke: warm catalog lookup only {speedup:.1f}x "
+                f"faster than cold compute (cold {cold_s:.3f}s, warm "
+                f"{warm_s:.3f}s); the cache is not earning its keep",
+                file=sys.stderr,
+            )
+            return 1
+
+        # Flip one byte in the stored entry: the cache must refuse it
+        # and the next lookup must recompute, not crash.
+        corrupted = bytearray(cold_bytes)
+        corrupted[len(corrupted) // 2] ^= 0x01
+        entry.write_bytes(bytes(corrupted))
+        if catalog.cache.load(digest, SOURCE_ANALYTIC) is not None:
+            print(
+                "bench-smoke: cache served a corrupted entry instead of "
+                "rejecting it",
+                file=sys.stderr,
+            )
+            return 1
+        recomputed = catalog.analytic(model)
+        if recomputed != cold_record:
+            print(
+                "bench-smoke: recompute after corruption disagrees with "
+                "the original record",
+                file=sys.stderr,
+            )
+            return 1
+        if entry.read_bytes() != cold_bytes:
+            print(
+                "bench-smoke: recompute after corruption did not restore "
+                "the original entry bytes",
+                file=sys.stderr,
+            )
+            return 1
+
+    current = {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+    }
+    bench_path = root / "BENCH_catalog.json"
+    trajectory = _load_trajectory(bench_path) + [current]
+    document = {
+        "schema": 1,
+        "command": "bench-smoke catalog-cache",
+        "model": "noisy-skg",
+        "levels": model.levels,
+        "num_edges": model.num_edges,
+        "trajectory": trajectory,
+    }
+    if len(trajectory) > 1:
+        recorded = trajectory[-2]["speedup"]
+        print(
+            f"bench-smoke: catalog warm speedup {speedup:,.0f}x "
+            f"(recorded {recorded:,.0f}x)",
+            file=sys.stderr,
+        )
+    if not bench_path.exists():
+        bench_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"bench-smoke: recorded {bench_path.name}", file=sys.stderr)
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        out = artifact_dir / bench_path.name
+        out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"bench-smoke: wrote trajectory to {out}", file=sys.stderr)
+    print(
+        f"bench-smoke: OK — warm catalog lookup {speedup:,.0f}x faster "
+        f"than cold compute (cold {cold_s:.3f}s, warm {warm_s * 1e3:.1f}ms), "
+        f"corrupt entry recomputed byte-identically",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -914,6 +1047,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         lambda: smoke_elastic_churn(root, args.artifact_dir),
         lambda: smoke_model_determinism(root, args.artifact_dir),
+        lambda: smoke_catalog_cache(root, args.artifact_dir),
     ):
         code = guard()
         if code != 0:
