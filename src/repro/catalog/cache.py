@@ -72,10 +72,37 @@ class CatalogCache:
         return path
 
     # -- reads ----------------------------------------------------------------
+    #: Bounded revalidation budget for :meth:`load`.  A defective read
+    #: is retried this many times before the cache reports a miss, so a
+    #: reader that catches a concurrent writer mid-replacement (or a
+    #: platform whose rename is observable non-atomically) sees the
+    #: finished entry on the next attempt instead of a spurious miss.
+    READ_ATTEMPTS = 3
+
     def load(
         self, key_digest: str, source: str
     ) -> Optional[DesignProperties]:
-        """Return the cached record, or ``None`` for *any* defect."""
+        """Return the cached record, or ``None`` for *any* defect.
+
+        Concurrency contract: the entry file may be *replaced* by a
+        concurrent :meth:`store` on the same digest at any moment, so
+        the read path is a single ``read_text`` of the whole file
+        followed by validation of the captured bytes — it never stats,
+        re-opens, or reads the file twice within one attempt (a
+        two-step read could stitch together halves of different
+        generations).  A defective attempt is retried up to
+        :data:`READ_ATTEMPTS` times; persistent corruption still
+        returns ``None`` and costs only time, never correctness."""
+        for _ in range(self.READ_ATTEMPTS):
+            record = self._load_once(key_digest, source)
+            if record is not None:
+                return record
+        return None
+
+    def _load_once(
+        self, key_digest: str, source: str
+    ) -> Optional[DesignProperties]:
+        """One read-and-validate attempt (``None`` for any defect)."""
         try:
             path = self.entry_path(key_digest, source)
             text = path.read_text(encoding="ascii")

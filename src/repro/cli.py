@@ -11,7 +11,11 @@ Subcommands mirror the paper's workflow:
 * ``verify-shards`` — recompute shard checksums against manifest.json,
 * ``scale``    — run a Fig.-3-style rank-count sweep,
 * ``info``     — report optional-capability availability (kernels,
-  backends, transports, generator models) on this machine.
+  backends, transports, generator models) on this machine,
+* ``serve``    — run the async graph service (:mod:`repro.serve`):
+  design records and streamed tile generation over HTTP,
+* ``query``    — client for a running server: POST a design, fetch its
+  record, or stream one rank's tiles and summarize them.
 
 ``generate --model {kron,skg,noisy-skg}`` switches the generator model:
 the exact deterministic Kronecker design (default), plain stochastic
@@ -361,6 +365,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="report which optional capabilities (native kernel, MPI, "
         "backends, transports, generator models) this machine has",
     )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the async design/tile server (repro.serve)",
+    )
+    p_srv.add_argument(
+        "star_sizes",
+        type=int,
+        nargs="*",
+        metavar="M_HAT",
+        help="optional design to preload into the registry at boot",
+    )
+    p_srv.add_argument(
+        "--self-loop", choices=["none", "center", "leaf"], default="none"
+    )
+    p_srv.add_argument(
+        "--model", choices=list(MODEL_CHOICES), default="kron",
+        help="generator model for the preloaded design",
+    )
+    p_srv.add_argument("--model-seed", type=int, default=0, metavar="SEED")
+    p_srv.add_argument("--noise", type=float, default=0.1, metavar="B")
+    p_srv.add_argument("--host", type=str, default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8737,
+        help="port to bind (0 = let the OS pick; the chosen port is printed)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="catalog cache directory (strongly recommended: warm design "
+        "queries become one file read)",
+    )
+    p_srv.add_argument(
+        "--ranks", type=int, default=4,
+        help="default rank count for tile plans (per-request ranks= wins)",
+    )
+    p_srv.add_argument(
+        "--memory-budget", type=int, default=None, metavar="ENTRIES",
+        help="default tiling budget for tile plans",
+    )
+    p_srv.add_argument(
+        "--max-concurrency", type=int, default=64,
+        help="requests in flight before new ones get 429",
+    )
+    p_srv.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline",
+    )
+    p_srv.add_argument(
+        "--max-tiles", type=int, default=4096,
+        help="largest tile range one request may stream",
+    )
+    p_srv.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="exit after handling N requests (CI/probe convenience)",
+    )
+
+    p_qry = sub.add_parser(
+        "query",
+        help="query a running design server (POST a spec, fetch a "
+        "record, or stream one rank's tiles)",
+    )
+    p_qry.add_argument(
+        "--url", type=str, required=True, help="server base URL"
+    )
+    p_qry.add_argument(
+        "star_sizes",
+        type=int,
+        nargs="*",
+        metavar="M_HAT",
+        help="design to POST (omit to address an existing --digest)",
+    )
+    p_qry.add_argument(
+        "--self-loop", choices=["none", "center", "leaf"], default="none"
+    )
+    p_qry.add_argument(
+        "--model", choices=list(MODEL_CHOICES), default="kron"
+    )
+    p_qry.add_argument("--model-seed", type=int, default=0, metavar="SEED")
+    p_qry.add_argument("--noise", type=float, default=0.1, metavar="B")
+    p_qry.add_argument(
+        "--digest", type=str, default=None,
+        help="query this digest instead of POSTing a design",
+    )
+    p_qry.add_argument(
+        "--json", action="store_true",
+        help="print the full record document as JSON",
+    )
+    p_qry.add_argument(
+        "--rank", type=int, default=None,
+        help="also stream this rank's tiles and summarize them",
+    )
+    p_qry.add_argument("--start", type=int, default=0)
+    p_qry.add_argument("--stop", type=int, default=None)
+    p_qry.add_argument("--ranks", type=int, default=None)
+    p_qry.add_argument("--memory-budget", type=int, default=None)
     return parser
 
 
@@ -762,6 +861,105 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_spec(args: argparse.Namespace) -> dict:
+    return {
+        "star_sizes": list(args.star_sizes),
+        "self_loop": args.self_loop,
+        "model": args.model,
+        "seed": args.model_seed,
+        "noise": args.noise,
+    }
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.engine import DEFAULT_MEMORY_BUDGET_ENTRIES
+    from repro.serve import DesignServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        ranks=args.ranks,
+        memory_budget_entries=(
+            args.memory_budget
+            if args.memory_budget is not None
+            else DEFAULT_MEMORY_BUDGET_ENTRIES
+        ),
+        max_concurrency=args.max_concurrency,
+        request_timeout_s=args.request_timeout,
+        max_tiles_per_request=args.max_tiles,
+        max_requests=args.max_requests,
+    )
+
+    async def _run() -> None:
+        server = DesignServer(config)
+        if args.star_sizes:
+            digest = server.register(_serve_spec(args))
+            print(f"preloaded {args.model} design {digest}", flush=True)
+        await server.start()
+        print(f"serving on {server.base_url}", flush=True)
+        try:
+            await server.serve_until_done()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import ServeClient
+
+    with ServeClient(args.url) as client:
+        if args.star_sizes:
+            reply = client.post_design(_serve_spec(args))
+            digest = reply["digest"]
+            record = reply["record"]
+            cached = reply["cached"]
+        elif args.digest:
+            served = client.get_design(args.digest)
+            digest = served.doc["digest"]
+            record = served.record_doc
+            cached = served.doc["cached"]
+        else:
+            print(
+                "error: give star sizes to POST or --digest to look up",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            print(_json.dumps(record, indent=2, sort_keys=True))
+        else:
+            print(f"digest        {digest}")
+            print(f"served from   {'cache' if cached else 'fresh compute'}")
+            print(f"num_vertices  {record['num_vertices']}")
+            print(f"num_edges     {record['num_edges']}")
+            triangles = record.get("triangles", {})
+            print(f"triangles     {triangles.get('num_triangles')}")
+        if args.rank is not None:
+            tiles = client.fetch_tiles(
+                digest,
+                args.rank,
+                start=args.start,
+                stop=args.stop,
+                ranks=args.ranks,
+                budget=args.memory_budget,
+            )
+            print(
+                f"rank {args.rank}: {len(tiles.tiles)} tiles, "
+                f"{tiles.nnz} entries "
+                f"(indices {[i for i, _ in tiles.tiles]})"
+            )
+    return 0
+
+
 _COMMANDS = {
     "check-files": cmd_check_files,
     "verify-shards": cmd_verify_shards,
@@ -775,6 +973,8 @@ _COMMANDS = {
     "spy": cmd_spy,
     "estimate": cmd_estimate,
     "info": cmd_info,
+    "serve": cmd_serve,
+    "query": cmd_query,
 }
 
 

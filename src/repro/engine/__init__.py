@@ -35,6 +35,7 @@ from repro.engine.execute import (
     TaskOutcome,
     TaskStats,
     execute,
+    iter_task_tiles,
 )
 from repro.engine.plan import (
     DEFAULT_MEMORY_BUDGET_ENTRIES,
@@ -78,6 +79,7 @@ __all__ = [
     "StreamSummary",
     "StreamingDegreeAccumulator",
     "execute",
+    "iter_task_tiles",
     "EngineResult",
     "TaskStats",
     "TaskOutcome",

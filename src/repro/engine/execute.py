@@ -183,6 +183,55 @@ class EngineResult:
         return max((s.peak_tile_entries for s in self.stats), default=0)
 
 
+def _transform_tile(work, rows, cols, vals):
+    """Apply the plan's shared transforms (loop removal, then vertex
+    scramble) to one model tile — the one definition both the worker
+    loop and :func:`iter_task_tiles` use, so a tile served any other
+    way (e.g. over HTTP by :mod:`repro.serve`) is byte-identical to
+    what a sink consumer would have seen."""
+    if work.loop_vertex is not None:
+        hit = (rows == work.loop_vertex) & (cols == work.loop_vertex)
+        if hit.any():
+            keep = ~hit
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    if work.scramble is not None:
+        rows = work.scramble.apply_array(rows)
+        cols = work.scramble.apply_array(cols)
+    return rows, cols, vals
+
+
+def iter_task_tiles(plan: GenerationPlan, task: RankTask):
+    """Yield one rank's post-transform ``(rows, cols, vals)`` tiles.
+
+    The coordinator-side twin of the worker loop in
+    :func:`_run_rank_task`: the plan's model produces the tiles and the
+    plan's transforms (design loop removal, vertex scramble) are applied
+    through the same :func:`_transform_tile` code path, so concatenating
+    the yielded tiles reproduces — byte for byte — the block a sink
+    consumer would have accumulated for ``task``.  No sink, no executor:
+    tiles are yielded and dropped, so peak memory is one tile.  This is
+    the generation surface :mod:`repro.serve` streams over HTTP.
+    """
+    model = plan.model
+    kernel = model.resolve_kernel(plan.kernel)
+    shared_c = plan.c_matrix if model.shared_factor else None
+    work = _RankWork(
+        rank=task.rank,
+        b_local=None if task.assignment is None else task.assignment.b_local,
+        col_base=0 if task.assignment is None else task.assignment.col_base,
+        c=shared_c,
+        loop_vertex=plan.loop_vertex,
+        scramble=plan.scramble,
+        max_tile_entries=plan.memory_budget_entries,
+        consumer_factory=None,
+        kernel=kernel,
+        spec=task.spec,
+        model=model,
+    )
+    for rows, cols, vals in model.tile_iter(work):
+        yield _transform_tile(work, rows, cols, vals)
+
+
 def _run_rank_task(work: _RankWork) -> TaskOutcome:
     """Worker: stream one rank's tiles into its consumer.
 
@@ -206,14 +255,7 @@ def _run_rank_task(work: _RankWork) -> TaskOutcome:
             # Peak is the pre-transform tile size: the memory actually
             # held, before loop removal can shrink it.
             peak = max(peak, len(rows))
-            if work.loop_vertex is not None:
-                hit = (rows == work.loop_vertex) & (cols == work.loop_vertex)
-                if hit.any():
-                    keep = ~hit
-                    rows, cols, vals = rows[keep], cols[keep], vals[keep]
-            if work.scramble is not None:
-                rows = work.scramble.apply_array(rows)
-                cols = work.scramble.apply_array(cols)
+            rows, cols, vals = _transform_tile(work, rows, cols, vals)
             consumer.consume(rows, cols, vals)
             nnz += len(rows)
         payload = consumer.result()

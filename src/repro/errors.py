@@ -172,3 +172,23 @@ class CatalogError(ReproError):
 
 class IOFormatError(ReproError):
     """An on-disk artifact could not be parsed."""
+
+
+class ServeError(ReproError):
+    """A graph-service request failed (client side of :mod:`repro.serve`).
+
+    ``status`` carries the HTTP status code when the failure was a
+    server response (404 unknown digest, 422 bad rank/range, 413
+    oversized range, 429 saturated, ...), or ``None`` for local
+    failures (connection refused, a torn or protocol-violating frame
+    stream)."""
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeProtocolError(ServeError):
+    """The served frame stream violated the tile-stream protocol
+    (missing OPEN, non-contiguous tile indices, stats mismatch, or an
+    ABORT frame mid-stream)."""

@@ -116,7 +116,17 @@ def atomic_write_bytes(path: str | Path, data: bytes, *, fsync: bool = True) -> 
     :class:`~repro.errors.StorageError`.
     """
     path = Path(path)
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    # Unique per call (pid + sequence), like ShardWriter's temp names:
+    # concurrent writers of the SAME target path — e.g. two catalog
+    # lookups racing to store one digest from different server threads —
+    # must not share a temp file, or one writer's rename can publish the
+    # other's half-written bytes (a torn entry a reader could observe).
+    # With unique temps each rename atomically publishes complete
+    # content; last writer wins, and identical content makes the order
+    # irrelevant.
+    tmp = path.with_name(
+        f".{path.name}.tmp.{os.getpid()}.{next(_WRITER_SEQ)}"
+    )
     try:
         with open(tmp, "wb") as fh:
             fh.write(data)

@@ -1,0 +1,373 @@
+"""Clients for the graph service.
+
+Two implementations of one surface:
+
+* :class:`ServeClient` — synchronous, built on
+  :class:`http.client.HTTPConnection` (which transparently de-chunks
+  response bodies).  One instance per thread; the load harness gives
+  each worker thread its own.
+* :class:`AsyncServeClient` — asyncio streams with its own status-line,
+  header, and chunked-body parsing, for callers already inside an event
+  loop.
+
+Both reassemble tile streams through
+:func:`repro.serve.stream.assemble_tile_stream`, so every protocol
+guarantee (OPEN-first, contiguous indices, stats that add up, ABORT
+detection) is enforced identically, and both translate HTTP error
+statuses into :class:`~repro.errors.ServeError` with ``status`` set —
+callers never parse status codes out of exception strings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ServeError
+from repro.serve.stream import TileStreamResult, assemble_tile_stream
+
+
+@dataclass
+class DesignReply:
+    """One design-record response."""
+
+    status: int
+    etag: Optional[str]
+    #: The response document; ``None`` on a 304 (your cached copy is
+    #: still authoritative — it can never be anything else).
+    doc: Optional[Dict]
+
+    @property
+    def record_doc(self) -> Dict:
+        if self.doc is None:
+            raise ServeError("304 reply carries no record", status=304)
+        return self.doc["record"]
+
+
+def _design_path(digest: str, *, participation: bool = False) -> str:
+    path = f"/v1/design/{digest}"
+    if participation:
+        path += "?participation=1"
+    return path
+
+
+def _tiles_path(
+    digest: str,
+    rank: int,
+    *,
+    start: int = 0,
+    stop: Optional[int] = None,
+    ranks: Optional[int] = None,
+    budget: Optional[int] = None,
+) -> str:
+    params = [f"start={start}"]
+    if stop is not None:
+        params.append(f"stop={stop}")
+    if ranks is not None:
+        params.append(f"ranks={ranks}")
+    if budget is not None:
+        params.append(f"budget={budget}")
+    return f"/v1/tiles/{digest}/{rank}?" + "&".join(params)
+
+
+def _raise_for_status(status: int, body: bytes) -> None:
+    try:
+        message = json.loads(body.decode("utf-8")).get("error", "")
+    except (UnicodeDecodeError, ValueError, AttributeError):
+        message = body[:200].decode("utf-8", "replace")
+    raise ServeError(
+        f"server answered {status}: {message or 'no detail'}", status=status
+    )
+
+
+class ServeClient:
+    """Synchronous client (one instance per thread)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", ""):
+            raise ServeError(f"unsupported URL scheme {split.scheme!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            # A torn keep-alive connection is retried once on a fresh
+            # socket; a genuinely dead server still raises.
+            self.close()
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers or {})
+                response = conn.getresponse()
+                payload = response.read()
+            except (OSError, http.client.HTTPException) as exc2:
+                self.close()
+                raise ServeError(
+                    f"request to {self.host}:{self.port} failed: {exc2}"
+                ) from exc
+        response_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        return response.status, response_headers, payload
+
+    # -- surface -------------------------------------------------------------
+    def health(self) -> Dict:
+        status, _, body = self._request("GET", "/v1/health")
+        if status != 200:
+            _raise_for_status(status, body)
+        return json.loads(body)
+
+    def metrics(self) -> Dict:
+        status, _, body = self._request("GET", "/v1/metrics")
+        if status != 200:
+            _raise_for_status(status, body)
+        return json.loads(body)
+
+    def post_design(self, spec: Dict) -> Dict:
+        status, _, body = self._request(
+            "POST",
+            "/v1/design",
+            body=json.dumps(spec).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        if status != 200:
+            _raise_for_status(status, body)
+        return json.loads(body)
+
+    def get_design(
+        self,
+        digest: str,
+        *,
+        etag: Optional[str] = None,
+        participation: bool = False,
+    ) -> DesignReply:
+        headers = {"If-None-Match": etag} if etag else {}
+        status, response_headers, body = self._request(
+            "GET",
+            _design_path(digest, participation=participation),
+            headers=headers,
+        )
+        if status == 304:
+            return DesignReply(304, response_headers.get("etag"), None)
+        if status != 200:
+            _raise_for_status(status, body)
+        return DesignReply(200, response_headers.get("etag"), json.loads(body))
+
+    def fetch_tiles(
+        self,
+        digest: str,
+        rank: int,
+        *,
+        start: int = 0,
+        stop: Optional[int] = None,
+        ranks: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> TileStreamResult:
+        status, _, body = self._request(
+            "GET",
+            _tiles_path(
+                digest, rank, start=start, stop=stop, ranks=ranks, budget=budget
+            ),
+        )
+        if status != 200:
+            _raise_for_status(status, body)
+        return assemble_tile_stream(body)
+
+
+class AsyncServeClient:
+    """Asyncio client (one connection per request, fully self-parsed)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", ""):
+            raise ServeError(f"unsupported URL scheme {split.scheme!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        try:
+            return await asyncio.wait_for(
+                self._request_inner(method, path, body=body, headers=headers),
+                timeout=self.timeout,
+            )
+        except asyncio.TimeoutError as exc:
+            raise ServeError(
+                f"request to {self.host}:{self.port} timed out "
+                f"after {self.timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise ServeError(
+                f"request to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+
+    async def _request_inner(
+        self, method, path, *, body=None, headers=None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            lines = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {self.host}:{self.port}",
+                "Connection: close",
+            ]
+            for name, value in (headers or {}).items():
+                lines.append(f"{name}: {value}")
+            if body:
+                lines.append(f"Content-Length: {len(body)}")
+            request = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+            writer.write(request + (body or b""))
+            await writer.drain()
+
+            status_line = await reader.readline()
+            try:
+                _, status_text, *_rest = status_line.decode("ascii").split(" ", 2)
+                status = int(status_text)
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise ServeError(
+                    f"unparsable status line {status_line!r}"
+                ) from exc
+            response_headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii").partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+
+            if response_headers.get("transfer-encoding", "").lower() == "chunked":
+                payload = bytearray()
+                while True:
+                    size_line = await reader.readline()
+                    try:
+                        size = int(size_line.strip().split(b";")[0], 16)
+                    except ValueError as exc:
+                        raise ServeError(
+                            f"bad chunk size line {size_line!r}"
+                        ) from exc
+                    if size == 0:
+                        await reader.readline()  # trailing CRLF
+                        break
+                    payload.extend(await reader.readexactly(size))
+                    await reader.readexactly(2)  # chunk CRLF
+                return status, response_headers, bytes(payload)
+            if "content-length" in response_headers:
+                length = int(response_headers["content-length"])
+                return status, response_headers, await reader.readexactly(length)
+            return status, response_headers, await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- surface -------------------------------------------------------------
+    async def health(self) -> Dict:
+        status, _, body = await self._request("GET", "/v1/health")
+        if status != 200:
+            _raise_for_status(status, body)
+        return json.loads(body)
+
+    async def metrics(self) -> Dict:
+        status, _, body = await self._request("GET", "/v1/metrics")
+        if status != 200:
+            _raise_for_status(status, body)
+        return json.loads(body)
+
+    async def post_design(self, spec: Dict) -> Dict:
+        status, _, body = await self._request(
+            "POST",
+            "/v1/design",
+            body=json.dumps(spec).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        if status != 200:
+            _raise_for_status(status, body)
+        return json.loads(body)
+
+    async def get_design(
+        self,
+        digest: str,
+        *,
+        etag: Optional[str] = None,
+        participation: bool = False,
+    ) -> DesignReply:
+        headers = {"If-None-Match": etag} if etag else {}
+        status, response_headers, body = await self._request(
+            "GET",
+            _design_path(digest, participation=participation),
+            headers=headers,
+        )
+        if status == 304:
+            return DesignReply(304, response_headers.get("etag"), None)
+        if status != 200:
+            _raise_for_status(status, body)
+        return DesignReply(200, response_headers.get("etag"), json.loads(body))
+
+    async def fetch_tiles(
+        self,
+        digest: str,
+        rank: int,
+        *,
+        start: int = 0,
+        stop: Optional[int] = None,
+        ranks: Optional[int] = None,
+        budget: Optional[int] = None,
+    ) -> TileStreamResult:
+        status, _, body = await self._request(
+            "GET",
+            _tiles_path(
+                digest, rank, start=start, stop=stop, ranks=ranks, budget=budget
+            ),
+        )
+        if status != 200:
+            _raise_for_status(status, body)
+        return assemble_tile_stream(body)
+
+
+__all__ = ["AsyncServeClient", "DesignReply", "ServeClient"]

@@ -168,3 +168,72 @@ class TestDesignCatalogFacade:
         record = catalog.analytic(model)
         assert record.model == "skg"
         assert catalog.cache.load(record.key_digest, "analytic") == record
+
+
+class TestConcurrentReplacement:
+    """The read path tolerates a writer replacing the entry mid-read.
+
+    Regression: ``atomic_write_bytes`` used a pid-only temp filename, so
+    two same-process threads storing the same digest shared one temp
+    file — one writer's rename could publish the other's half-written
+    bytes, and a concurrent ``load`` could observe the torn entry.
+    Unique per-call temp names plus the single-read-and-validate retry
+    in ``CatalogCache.load`` make every interleaving safe: a load during
+    a storm of writers always returns the (identical) record, never a
+    spurious miss, never an exception.
+    """
+
+    def test_load_survives_interleaved_writer_threads(self, tmp_path, design):
+        import threading
+
+        cache = CatalogCache(tmp_path)
+        record = analytic_properties(design)
+        cache.store(record)
+        stop = threading.Event()
+        writer_errors = []
+
+        def _hammer_store():
+            try:
+                while not stop.is_set():
+                    cache.store(record)
+            except Exception as exc:  # noqa: BLE001 - reported below
+                writer_errors.append(exc)
+
+        writers = [
+            threading.Thread(target=_hammer_store, daemon=True)
+            for _ in range(4)
+        ]
+        for thread in writers:
+            thread.start()
+        try:
+            misses = 0
+            for _ in range(300):
+                loaded = cache.load(record.key_digest, "analytic")
+                if loaded is None:
+                    misses += 1
+                else:
+                    assert loaded == record
+            assert misses == 0, (
+                f"{misses}/300 loads missed while writers were replacing "
+                "the (identical) entry"
+            )
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join(timeout=10)
+        assert not writer_errors, f"writer raised: {writer_errors[0]!r}"
+        # The storm must leave exactly the entry, no stray temp files.
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if p.name.startswith(".")
+        ]
+        assert leftovers == []
+
+    def test_unreadable_then_fixed_entry_is_not_sticky(self, tmp_path, design):
+        cache = CatalogCache(tmp_path)
+        record = analytic_properties(design)
+        path = cache.store(record)
+        good = path.read_bytes()
+        path.write_bytes(good[: len(good) // 2])
+        assert cache.load(record.key_digest, "analytic") is None
+        path.write_bytes(good)
+        assert cache.load(record.key_digest, "analytic") == record

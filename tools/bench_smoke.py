@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark smoke target: ``python tools/bench_smoke.py``.
 
-Ten cheap CI guards:
+Eleven cheap CI guards:
 
 1. the Fig.-3 scaling benchmark at toy scale (the metrics-snapshot test
    only), asserting a machine-readable metrics JSON was produced — the
@@ -58,7 +58,16 @@ Ten cheap CI guards:
    — never trusted, never a crash — restoring the original bytes; the
    cold/warm latencies and speedup are appended to the recorded
    ``BENCH_catalog.json`` trajectory — the design-server latency
-   contract (a warm lookup is a single cached read) stays measured.
+   contract (a warm lookup is a single cached read) stays measured;
+11. the serve-latency guard: 32 concurrent clients issuing warm
+   ``GET /v1/design/{digest}`` queries against an in-process
+   :class:`repro.serve.DesignServer` must all be served from the
+   catalog cache (zero engine executions during the measured phase)
+   with p99 latency under the recorded floor x10; the latency
+   distribution and throughput are appended to the recorded
+   ``BENCH_serve.json`` trajectory (shared with
+   ``tools/bench_load.py``) — the serving layer's warm-path latency
+   contract stays enforced.
 
 With ``--artifact-dir`` the tiled, straggler, and socket runs' metrics
 snapshots plus the updated ``BENCH_*.json`` trajectories are written
@@ -966,6 +975,80 @@ def smoke_catalog_cache(root: Path, artifact_dir: Path | None) -> int:
     return 0
 
 
+def smoke_serve_latency(root: Path, artifact_dir: Path | None) -> int:
+    """Guard 11: warm design queries under concurrency stay flat.
+
+    32 concurrent clients hammer the warm ``GET /v1/design/{digest}``
+    path of an in-process :class:`repro.serve.DesignServer`.  Every
+    reply must come from the catalog cache (zero engine executions
+    during the measured phase), and the p99 latency must hold under the
+    recorded floor x10 — the serving layer's latency contract, measured
+    the same way ``tools/bench_load.py`` measures it (the guard reuses
+    its ``run_load``).
+    """
+    sys.path.insert(0, str(root / "tools"))
+    import bench_load
+
+    clients = 32
+    requests_per_client = 8
+    result = bench_load.run_load(
+        clients=clients, requests_per_client=requests_per_client
+    )
+    if result["errors"]:
+        for line in result["errors"][:10]:
+            print(f"bench-smoke: serve ERROR {line}", file=sys.stderr)
+        return 1
+    expected = clients * requests_per_client
+    if result["completed"] != expected:
+        print(
+            f"bench-smoke: only {result['completed']}/{expected} warm "
+            "queries completed",
+            file=sys.stderr,
+        )
+        return 1
+    if result["warm_computes"] != 0:
+        print(
+            f"bench-smoke: {result['warm_computes']} engine computes "
+            "during the warm phase — queries were not served from cache",
+            file=sys.stderr,
+        )
+        return 1
+    if result["cache_hits"] < expected:
+        print(
+            f"bench-smoke: only {result['cache_hits']} cache hits for "
+            f"{expected} warm queries",
+            file=sys.stderr,
+        )
+        return 1
+
+    bench_path = root / "BENCH_serve.json"
+    previous = _load_trajectory(bench_path)
+    document = bench_load.record_trajectory(root, result, artifact_dir)
+    if previous:
+        recorded = previous[-1]["p99_ms"]
+        if result["p99_ms"] > recorded * 10.0:
+            print(
+                f"bench-smoke: warm-query p99 {result['p99_ms']:.2f}ms "
+                f"exceeds the recorded floor {recorded:.2f}ms x10",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"bench-smoke: serve p99 {result['p99_ms']:.2f}ms "
+            f"(recorded {recorded:.2f}ms, floor x10)",
+            file=sys.stderr,
+        )
+    print(
+        f"bench-smoke: OK — {result['completed']} warm design queries "
+        f"from {clients} clients, all cache-served (0 engine computes): "
+        f"p50 {result['p50_ms']:.2f}ms, p99 {result['p99_ms']:.2f}ms, "
+        f"{result['rps']:,.0f} req/s over {len(document['trajectory'])} "
+        "recorded runs",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -1048,6 +1131,7 @@ def main(argv: list[str] | None = None) -> int:
         lambda: smoke_elastic_churn(root, args.artifact_dir),
         lambda: smoke_model_determinism(root, args.artifact_dir),
         lambda: smoke_catalog_cache(root, args.artifact_dir),
+        lambda: smoke_serve_latency(root, args.artifact_dir),
     ):
         code = guard()
         if code != 0:
